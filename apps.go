@@ -1,0 +1,144 @@
+package spgemm
+
+import (
+	"repro/internal/apps/bfs"
+	"repro/internal/apps/jaccard"
+	"repro/internal/apps/matching"
+	"repro/internal/apps/mcl"
+	"repro/internal/apps/overlap"
+	"repro/internal/apps/tricount"
+	"repro/internal/core"
+)
+
+// MCLConfig configures Markov clustering (the HipMCL application of
+// Sec. V-C).
+type MCLConfig struct {
+	// Inflation is the entry-wise power (default 2).
+	Inflation float64
+	// PruneThreshold drops small entries (default 1e-4).
+	PruneThreshold float64
+	// TopK keeps at most this many entries per column (default 64).
+	TopK int
+	// MaxIter bounds iterations (default 60).
+	MaxIter int
+	// Cluster, when non-nil, runs every expansion on the simulated cluster
+	// with the given options (MemBytes triggers batching as in HipMCL).
+	Cluster *Cluster
+	// MemBytes is the aggregate memory budget for distributed expansions.
+	MemBytes int64
+}
+
+// MCLResult is the clustering outcome.
+type MCLResult struct {
+	// Labels assigns each node a cluster id in [0, NumClusters).
+	Labels []int32
+	// NumClusters counts distinct clusters.
+	NumClusters int
+	// Converged reports whether the chaos measure settled before MaxIter.
+	Converged bool
+	// Iterations is the number of expansion rounds executed.
+	Iterations int
+}
+
+// MarkovCluster clusters the nodes of a symmetric, non-negative similarity
+// matrix.
+func MarkovCluster(a *Matrix, cfg MCLConfig) (*MCLResult, error) {
+	inner := mcl.Config{
+		Inflation:      cfg.Inflation,
+		PruneThreshold: cfg.PruneThreshold,
+		TopK:           cfg.TopK,
+		MaxIter:        cfg.MaxIter,
+	}
+	if cfg.Cluster != nil {
+		inner.Dist = &core.RunConfig{
+			P:    cfg.Cluster.procs,
+			L:    cfg.Cluster.layers,
+			Cost: cfg.Cluster.machine.Cost(),
+			Opts: core.Options{MemBytes: cfg.MemBytes, RunSymbolic: cfg.MemBytes > 0},
+		}
+	}
+	res, err := mcl.Cluster(a, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &MCLResult{
+		Labels:      res.Labels,
+		NumClusters: res.NumClusters,
+		Converged:   res.Converged,
+		Iterations:  len(res.Iters),
+	}, nil
+}
+
+// TriangleCount counts triangles in a symmetric 0/1 adjacency matrix. With a
+// nil cluster it runs serially; otherwise the L·U product runs as a batched
+// distributed SpGEMM whose wedge matrix is consumed batch-by-batch.
+func TriangleCount(adj *Matrix, cluster *Cluster) (int64, error) {
+	if cluster == nil {
+		return tricount.CountSerial(adj)
+	}
+	rc := core.RunConfig{P: cluster.procs, L: cluster.layers, Cost: cluster.machine.Cost()}
+	n, _, err := tricount.CountDistributed(adj, rc)
+	return n, err
+}
+
+// OverlapPair is one candidate read overlap: reads R1 < R2 share Shared
+// k-mers.
+type OverlapPair = overlap.Pair
+
+// OverlapPairs finds read pairs sharing at least minShared k-mers in a
+// reads×kmers incidence matrix (the BELLA/PASTIS AAᵀ pattern). With a nil
+// cluster it runs serially.
+func OverlapPairs(a *Matrix, minShared int64, cluster *Cluster) ([]OverlapPair, error) {
+	if cluster == nil {
+		return overlap.FindPairsSerial(a, minShared)
+	}
+	rc := core.RunConfig{P: cluster.procs, L: cluster.layers, Cost: cluster.machine.Cost()}
+	pairs, _, err := overlap.FindPairsDistributed(a, minShared, rc)
+	return pairs, err
+}
+
+// JaccardPair is one row pair with its Jaccard similarity coefficient.
+type JaccardPair = jaccard.Pair
+
+// JaccardPairs returns every row pair of the binary feature matrix a with
+// Jaccard similarity at least minJ ∈ (0, 1] — the all-pairs genome-comparison
+// formulation the paper cites [14]. With a nil cluster it runs serially;
+// otherwise the similarity matrix is formed in batches and discarded.
+func JaccardPairs(a *Matrix, minJ float64, cluster *Cluster) ([]JaccardPair, error) {
+	if cluster == nil {
+		return jaccard.AllPairsSerial(a, minJ)
+	}
+	rc := core.RunConfig{P: cluster.procs, L: cluster.layers, Cost: cluster.machine.Cost()}
+	pairs, _, err := jaccard.AllPairsDistributed(a, minJ, rc)
+	return pairs, err
+}
+
+// BFSLevels holds multi-source BFS distances; see MultiSourceBFS.
+type BFSLevels = bfs.Levels
+
+// MultiSourceBFS runs breadth-first search from several sources at once as
+// iterated Boolean SpGEMM (the GraphBLAS formulation). With a nil cluster
+// the frontier expansions run serially.
+func MultiSourceBFS(adj *Matrix, sources []int32, cluster *Cluster) (*BFSLevels, error) {
+	if cluster == nil {
+		return bfs.MultiSourceSerial(adj, sources)
+	}
+	rc := core.RunConfig{P: cluster.procs, L: cluster.layers, Cost: cluster.machine.Cost()}
+	return bfs.MultiSourceDistributed(adj, sources, rc)
+}
+
+// MatchingResult is a heavy-connectivity matching of vertices.
+type MatchingResult = matching.Result
+
+// HeavyConnectivityMatching greedily matches the rows (vertices) of a
+// vertex×hyperedge incidence matrix by shared-hyperedge count — the
+// hypergraph-coarsening step the paper cites as a batched AAᵀ application
+// (Zoltan [18]). With a nil cluster it runs serially.
+func HeavyConnectivityMatching(a *Matrix, cluster *Cluster) (*MatchingResult, error) {
+	if cluster == nil {
+		return matching.HeavyConnectivitySerial(a)
+	}
+	rc := core.RunConfig{P: cluster.procs, L: cluster.layers, Cost: cluster.machine.Cost()}
+	res, _, err := matching.HeavyConnectivityDistributed(a, rc)
+	return res, err
+}

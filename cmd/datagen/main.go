@@ -1,0 +1,71 @@
+// Command datagen writes synthetic test matrices (the scaled analogues of
+// the paper's Table V datasets) as MatrixMarket files.
+//
+// Usage:
+//
+//	datagen -kind protein -scale 10 -ef 8 -out prot.mtx
+//	datagen -kind rmat -scale 12 -ef 16 -out social.mtx
+//	datagen -kind kmer -reads 4096 -kmers 65536 -out reads.mtx
+//	datagen -kind er -n 10000 -ef 8 -out er.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spgemm "repro"
+	"repro/internal/genmat"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "protein", "matrix kind: protein | rmat | er | kmer")
+		scale = flag.Int("scale", 10, "log2 of the matrix side (protein, rmat)")
+		n     = flag.Int("n", 1024, "matrix side (er)")
+		ef    = flag.Int("ef", 8, "edge factor / average degree")
+		reads = flag.Int("reads", 1024, "rows of the kmer matrix")
+		kmers = flag.Int("kmers", 16384, "columns of the kmer matrix")
+		kpr   = flag.Int("kmers-per-read", 24, "k-mer occurrences per read")
+		ovl   = flag.Float64("overlap", 0.3, "read overlap probability (kmer)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var m *spgemm.Matrix
+	switch *kind {
+	case "protein":
+		m = genmat.ProteinSimilarity(*scale, *ef, *seed)
+	case "rmat":
+		m = genmat.RMAT(genmat.RMATConfig{Scale: *scale, EdgeFactor: *ef, Symmetrize: true, Seed: *seed})
+	case "er":
+		m = genmat.ER(int32(*n), *ef, *seed)
+	case "kmer":
+		m = genmat.Kmer(genmat.KmerConfig{
+			Reads: int32(*reads), Kmers: int32(*kmers),
+			KmersPerRead: *kpr, Overlap: *ovl, Seed: *seed,
+		})
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := spgemm.WriteMatrixMarket(w, m); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %s matrix: %v\n", *kind, m)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command mtxinfo prints Table V style statistics for a MatrixMarket file:
+// shape, nonzeros, the nonzeros and flops of its self-product (A·A or A·Aᵀ),
+// compression factor, and the batch counts a given memory budget would need
+// on a given grid (the symbolic decision, Eq 2 and Alg 3).
+//
+// Usage:
+//
+//	mtxinfo graph.mtx
+//	mtxinfo -mem 1e9 -procs 64 -layers 4 graph.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/genmat"
+	"repro/internal/localmm"
+	"repro/internal/spmat"
+)
+
+func main() {
+	var (
+		mem    = flag.Float64("mem", 0, "aggregate memory budget in bytes (0 = skip batch estimate)")
+		procs  = flag.Int("procs", 64, "process count for the batch estimate")
+		layers = flag.Int("layers", 4, "layer count for the batch estimate")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-mem B -procs P -layers L] file.mtx")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := spmat.ReadMatrixMarket(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	st := genmat.Collect(flag.Arg(0), a)
+	fmt.Println(genmat.StatsHeader())
+	fmt.Println(st.String())
+	fmt.Printf("\nproduct studied: %s\n", st.Squared)
+	fmt.Printf("output growth nnz(C)/nnz(A): %.2f\n", float64(st.NnzC)/float64(st.NnzA))
+	fmt.Printf("input memory (r=24 B/nnz):   %.1f MB\n", float64(st.NnzA*24)/1e6)
+	fmt.Printf("output memory:               %.1f MB\n", float64(st.NnzC*24)/1e6)
+	fmt.Printf("worst-case intermediates:    %.1f MB (flops bound, Eq 1)\n", float64(st.Flops*24)/1e6)
+
+	if *mem > 0 {
+		b := a
+		if a.Rows != a.Cols {
+			b = spmat.Transpose(a)
+		}
+		memC := 24 * localmm.Flops(a, b)
+		lower := core.BatchLowerBound(memC, a.NNZ(), b.NNZ(), int64(*mem), 24)
+		fmt.Printf("\nwith M = %.2e bytes on a %d-process, %d-layer grid:\n", *mem, *procs, *layers)
+		fmt.Printf("  batch lower bound (Eq 2, perfectly balanced): %d\n", lower)
+		if lower > 1<<20 {
+			fmt.Println("  (inputs alone exceed the budget)")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtxinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command spgemm-bench regenerates the tables and figures of the paper's
+// evaluation section on the simulated cluster.
+//
+// Usage:
+//
+//	spgemm-bench -exp list                 # show every experiment
+//	spgemm-bench -exp fig6                 # regenerate one figure
+//	spgemm-bench -exp all -scale small     # the full evaluation
+//	spgemm-bench -exp fig13 -machine haswell
+//
+// Scales: tiny (seconds), small (default), large (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "list", "experiment id (fig3..fig15, table2..table7), 'all', or 'list'")
+		scale   = flag.String("scale", "small", "workload scale: tiny | small | large")
+		machine = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
+		verbose = flag.Bool("v", false, "verbose output")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.List() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := costmodel.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.RunOpts{Scale: sc, Machine: m, Verbose: *verbose}
+
+	var list []*experiments.Experiment
+	if *exp == "all" {
+		list = experiments.List()
+	} else {
+		e, err := experiments.Get(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		list = []*experiments.Experiment{e}
+	}
+
+	for _, e := range list {
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spgemm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Triangle counting on a social network via masked SpGEMM (L·U masked by L),
+// one of the paper's motivating SpGEMM applications: the wedge matrix L·U is
+// far denser than the graph, so the distributed run consumes it batch by
+// batch and never materializes it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	spgemm "repro"
+)
+
+func main() {
+	// A Friendster-like power-law social graph.
+	adj := spgemm.RandomGraph(12, 12, true, 99)
+	fmt.Printf("social graph: %v\n", adj)
+
+	t0 := time.Now()
+	serial, err := spgemm.TriangleCount(adj, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial:      %d triangles in %v\n", serial, time.Since(t0).Round(time.Millisecond))
+
+	cluster := spgemm.NewCluster(16, 4)
+	t0 = time.Now()
+	dist, err := spgemm.TriangleCount(adj, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed: %d triangles in %v (16 ranks, 4 layers)\n",
+		dist, time.Since(t0).Round(time.Millisecond))
+
+	if serial != dist {
+		log.Fatalf("counts disagree: %d vs %d", serial, dist)
+	}
+	fmt.Println("counts agree")
+
+	// Clustering coefficient numerator/denominator for context.
+	var wedges int64
+	for i := int32(0); i < adj.Rows; i++ {
+		d := int64(0)
+		for j := int32(0); j < adj.Cols; j++ {
+			if adj.At(i, j) != 0 {
+				d++
+			}
+		}
+		wedges += d * (d - 1) / 2
+	}
+	if wedges > 0 {
+		fmt.Printf("global clustering coefficient: %.4f\n", 3*float64(dist)/float64(wedges))
+	}
+}

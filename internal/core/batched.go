@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distmat"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// BatchedSUMMA3D executes Algorithm 4: the integrated communication-avoiding
+// and memory-constrained SpGEMM. The symbolic step (Alg 3) picks the batch
+// count unless Options.ForceBatches overrides it; the local B is then split
+// block-cyclically into b batches and each batch runs a full 3D SUMMA
+// (per-layer 2D SUMMA, fiber AllToAll, fiber merge). The hook, when not nil,
+// sees every finished batch and may prune it before concatenation — this is
+// how applications keep the output from ever materializing at full size.
+//
+// Every rank of the grid must call BatchedSUMMA3D collectively.
+func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
+	g := p.G
+	res := &Result{RowOffset: p.DA.RowB[g.I]}
+
+	// Decide the batch count (Alg 4 line 2).
+	b := p.Opts.ForceBatches
+	runSymbolic := p.Opts.RunSymbolic || b <= 0
+	if runSymbolic {
+		sb, _, err := p.Symbolic3D()
+		if err != nil {
+			return nil, err
+		}
+		res.SymbolicB = sb
+		if b <= 0 {
+			b = sb
+		}
+	}
+	if b < 1 {
+		b = 1
+	}
+	// More batches than the widest block column only creates empty batches;
+	// clamp to keep loops meaningful.
+	if w := p.widestBlock(); b > w && w > 0 {
+		b = w
+	}
+	res.Batches = b
+
+	// All ranks must agree on b. With ForceBatches they trivially do; the
+	// symbolic estimate is computed from Allreduce'd maxima so it also
+	// agrees. Assert anyway: a divergent b would deadlock the collectives.
+	if agreed := g.World.AllreduceInt64(int64(b), mpi.OpMax); int(agreed) != b {
+		return nil, fmt.Errorf("core: ranks disagree on batch count (%d vs %d)", b, agreed)
+	}
+
+	// Column batching of this rank's block column (Alg 4 line 4, Fig 1(i)).
+	c0, c1 := p.DB.ColRangeOf(g.J)
+	p.bt = distmat.NewBatching(c1-c0, b, g.L)
+
+	// Alg 4 lines 5–6: one 3D SUMMA per batch.
+	pieces := make([]*spmat.CSC, 0, b)
+	for t := 0; t < b; t++ {
+		cPiece, offsets := p.summa3DBatch(t, res)
+		res.BatchNNZ = append(res.BatchNNZ, cPiece.NNZ())
+		globalCols := make([]int32, len(offsets))
+		for x, o := range offsets {
+			globalCols[x] = c0 + o
+		}
+		if hook != nil {
+			if pruned := hook(t, globalCols, cPiece); pruned != nil {
+				if pruned.Cols != cPiece.Cols {
+					return nil, fmt.Errorf("core: batch hook changed column count (%d → %d)", cPiece.Cols, pruned.Cols)
+				}
+				cPiece = pruned
+			}
+		}
+		pieces = append(pieces, cPiece)
+		res.GlobalCols = append(res.GlobalCols, globalCols...)
+	}
+
+	// Alg 4 line 7: concatenate batches (batch-major column order).
+	meter := g.World.Meter()
+	meter.SetCategory(StepMergeFiber)
+	if len(pieces) == 1 {
+		res.C = pieces[0]
+	} else {
+		res.C = spmat.HCat(pieces)
+	}
+	return res, nil
+}
+
+// SUMMA3D is Algorithm 2: a single-batch 3D multiply. It is BatchedSUMMA3D
+// with the batch count pinned to one (the symbolic step is skipped).
+func (p *Proc) SUMMA3D() (*Result, error) {
+	saved := p.Opts
+	p.Opts.ForceBatches = 1
+	p.Opts.RunSymbolic = false
+	defer func() { p.Opts = saved }()
+	return p.BatchedSUMMA3D(nil)
+}
+
+// widestBlock returns the widest B block column across the grid (they differ
+// by at most one column).
+func (p *Proc) widestBlock() int {
+	w := 0
+	for j := 0; j < p.G.Q; j++ {
+		c0, c1 := p.DB.ColRangeOf(j)
+		if int(c1-c0) > w {
+			w = int(c1 - c0)
+		}
+	}
+	return w
+}

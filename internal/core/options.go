@@ -1,0 +1,89 @@
+// Package core implements the paper's algorithms: 2D sparse SUMMA (Alg 1),
+// 3D sparse SUMMA (Alg 2), the distributed symbolic batch-count estimator
+// (Alg 3), and the integrated communication-avoiding, memory-constrained
+// BATCHEDSUMMA3D (Alg 4) with a per-batch application hook.
+//
+// Every rank executes inside the simulated MPI runtime; the seven step
+// categories the paper reports (Symbolic, A-Broadcast, B-Broadcast,
+// Local-Multiply, Merge-Layer, AllToAll-Fiber, Merge-Fiber) are metered per
+// rank: measured wall time for computation, α–β modeled time and exact byte
+// counts for communication.
+package core
+
+import (
+	"repro/internal/localmm"
+	"repro/internal/semiring"
+)
+
+// Step category names used with the per-rank meters. They match the paper's
+// figure legends.
+const (
+	StepSymbolic   = "Symbolic"
+	StepABcast     = "A-Broadcast"
+	StepBBcast     = "B-Broadcast"
+	StepLocalMult  = "Local-Multiply"
+	StepMergeLayer = "Merge-Layer"
+	StepAllToAll   = "AllToAll-Fiber"
+	StepMergeFiber = "Merge-Fiber"
+	StepOther      = "Other"
+)
+
+// Steps lists the seven categories in the paper's presentation order.
+var Steps = []string{
+	StepSymbolic, StepABcast, StepBBcast, StepLocalMult,
+	StepMergeLayer, StepAllToAll, StepMergeFiber,
+}
+
+// Options configures a distributed multiplication.
+type Options struct {
+	// Semiring defaults to plus-times.
+	Semiring *semiring.Semiring
+	// Kernel is the Local-Multiply implementation (default: the paper's
+	// sort-free unsorted-hash kernel).
+	Kernel localmm.Kernel
+	// Merger is the Merge-Layer / Merge-Fiber implementation (default: the
+	// paper's sort-free hash merge).
+	Merger localmm.Merger
+	// MemBytes is the aggregate memory M available across all processes, in
+	// bytes, used by the symbolic step to choose the batch count (Alg 3 line
+	// 12). Zero means unconstrained.
+	MemBytes int64
+	// BytesPerNnz is r, the modeled bytes per stored nonzero (default 24,
+	// Sec. IV-A).
+	BytesPerNnz int64
+	// ForceBatches, when positive, bypasses the symbolic decision and runs
+	// exactly this many batches (the paper's l/b sweeps in Fig 4 fix b).
+	ForceBatches int
+	// RunSymbolic forces the symbolic step to execute (and be metered) even
+	// when ForceBatches is set. When ForceBatches == 0 the symbolic step
+	// always runs, since b must be computed.
+	RunSymbolic bool
+	// Threads is the intra-rank thread count for local kernels (the paper
+	// uses 16 per process on KNL). Default 1: ranks are already concurrent.
+	Threads int
+	// MaxBatches caps the symbolic decision (0 = no cap beyond the number of
+	// columns).
+	MaxBatches int
+	// IncrementalMerge folds each SUMMA stage's product into a running
+	// accumulator instead of keeping all stage outputs and merging once
+	// after the last stage. The paper deliberately merges once (Sec. III-A:
+	// incremental merging is computationally more expensive in the worst
+	// case [34]) but keeps the incremental strategy as the memory-lean
+	// alternative; this option exists for that ablation
+	// (BenchmarkMergeStrategy, table3 experiment notes).
+	IncrementalMerge bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Semiring == nil {
+		o.Semiring = semiring.PlusTimes()
+	}
+	if o.BytesPerNnz == 0 {
+		o.BytesPerNnz = 24
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	return o
+}

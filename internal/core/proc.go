@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distmat"
+	"repro/internal/grid"
+	"repro/internal/localmm"
+	"repro/internal/spmat"
+)
+
+// Proc is one rank's execution context for a distributed SpGEMM C = A·B.
+type Proc struct {
+	G    *grid.Grid3D
+	Opts Options
+
+	// DA and DB describe the global distributions of A (column-sliced into
+	// layers) and B (row-sliced into layers).
+	DA *distmat.ADist
+	DB *distmat.BDist
+
+	// LocalA and LocalB are this rank's pieces.
+	LocalA, LocalB *spmat.CSC
+
+	// bt is the block-cyclic batching of this rank's B block column; set
+	// once b is known.
+	bt distmat.Batching
+}
+
+// Setup distributes the global operands onto the grid: each rank extracts
+// its own piece (the simulated equivalent of reading a pre-distributed
+// matrix). A is rows×inner, B is inner×cols.
+func Setup(g *grid.Grid3D, a, b *spmat.CSC, opts Options) (*Proc, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("core: inner dimension mismatch: A is %v, B is %v", a, b)
+	}
+	opts = opts.withDefaults()
+	p := &Proc{
+		G:    g,
+		Opts: opts,
+		DA:   distmat.NewADist(a.Rows, a.Cols, g.Q, g.L),
+		DB:   distmat.NewBDist(b.Rows, b.Cols, g.Q, g.L),
+	}
+	p.LocalA = p.DA.Local(a, g.I, g.J, g.K)
+	p.LocalB = p.DB.Local(b, g.I, g.J, g.K)
+	return p, nil
+}
+
+// SetupLocal wires a Proc from already-local pieces (used when a pipeline
+// keeps matrices distributed between operations, e.g. Markov clustering
+// iterations). The descriptors must describe the same global shapes on the
+// same grid.
+func SetupLocal(g *grid.Grid3D, da *distmat.ADist, db *distmat.BDist, localA, localB *spmat.CSC, opts Options) *Proc {
+	return &Proc{G: g, Opts: opts.withDefaults(), DA: da, DB: db, LocalA: localA, LocalB: localB}
+}
+
+// Result is one rank's output of BatchedSUMMA3D.
+type Result struct {
+	// C is the local output piece with sorted columns; its columns are in
+	// batch-major order and GlobalCols maps each to its global index.
+	C *spmat.CSC
+	// GlobalCols[x] is the global column of local column x.
+	GlobalCols []int32
+	// RowOffset is the global row index of local row 0.
+	RowOffset int32
+	// Batches is the number of batches executed.
+	Batches int
+	// SymbolicB is what the symbolic step estimated (0 when skipped).
+	SymbolicB int
+	// LocalFlops counts multiplications performed by this rank.
+	LocalFlops int64
+	// UnmergedNNZ is Σ over stages and batches of per-stage product nonzeros
+	// (the D̃ storage the symbolic step bounds).
+	UnmergedNNZ int64
+	// MergedLayerNNZ is Σ over batches of nnz(D̃) after Merge-Layer.
+	MergedLayerNNZ int64
+	// PeakMemBytes is the modeled per-rank memory high-water mark
+	// (r · live nonzeros), demonstrating the memory-constrained claim.
+	PeakMemBytes int64
+	// BatchNNZ is the per-batch local output size before any hook pruning.
+	BatchNNZ []int64
+}
+
+// BatchHook is invoked after each batch's Merge-Fiber with the batch index,
+// the global columns the local piece covers, and the local piece itself
+// (sorted columns). The returned matrix replaces the piece in the
+// concatenated result; returning nil keeps the piece. Applications use the
+// hook to prune or stream out batches (HipMCL, Sec. V-C).
+type BatchHook func(batch int, globalCols []int32, c *spmat.CSC) *spmat.CSC
+
+// AssembleResults reconstructs the global C from every rank's Result. Test
+// and verification helper (a real application consumes batches in place).
+func AssembleResults(results []*Result, rows, cols int32) (*spmat.CSC, error) {
+	var ts []spmat.Triple
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		for x := int32(0); x < r.C.Cols; x++ {
+			rws, vls := r.C.Column(x)
+			gc := r.GlobalCols[x]
+			for q := range rws {
+				ts = append(ts, spmat.Triple{Row: rws[q] + r.RowOffset, Col: gc, Val: vls[q]})
+			}
+		}
+	}
+	return spmat.FromTriples(rows, cols, ts, nil)
+}
+
+// kernelFn returns the configured local-multiply function.
+func (p *Proc) kernelFn() func(a, b *spmat.CSC) *spmat.CSC {
+	k, sr, threads := p.Opts.Kernel, p.Opts.Semiring, p.Opts.Threads
+	return func(a, b *spmat.CSC) *spmat.CSC {
+		return localmm.ParallelSpGEMM(k, a, b, sr, threads)
+	}
+}
+
+// mergeFn returns the configured merge function.
+func (p *Proc) mergeFn() func(mats []*spmat.CSC, sorted bool) *spmat.CSC {
+	mg, sr, threads := p.Opts.Merger, p.Opts.Semiring, p.Opts.Threads
+	return func(mats []*spmat.CSC, sorted bool) *spmat.CSC {
+		return localmm.ParallelMerge(mg, mats, sr, sorted, threads)
+	}
+}

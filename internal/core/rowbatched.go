@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/spmat"
+)
+
+// MultiplyRowBatched computes C = A·B with batching over the *rows* of C
+// instead of its columns. Sec. IV-B notes that column-wise batching
+// re-broadcasts A once per batch, which is expensive when nnz(A) ≫ nnz(B);
+// the paper points out the same algorithm handles this case by batching
+// row-by-row. The identity used here is Cᵀ = Bᵀ·Aᵀ: a column batch of Cᵀ is
+// a row batch of C, so the operand that is re-broadcast per batch becomes
+// Bᵀ (cheap when nnz(B) is small).
+//
+// The hook, when not nil, receives each finished batch of Cᵀ; globalCols of
+// the transposed piece are global *rows* of C. The assembled result is
+// returned in the original orientation.
+func MultiplyRowBatched(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) (*spmat.CSC, []*Result, error) {
+	at := spmat.Transpose(a)
+	bt := spmat.Transpose(b)
+	ct, results, _, err := Multiply(bt, at, rc, hooks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spmat.Transpose(ct), results, nil
+}
+
+// RowBatchedCheaper reports whether row batching is expected to communicate
+// less than column batching for C = A·B with the given batch count: column
+// batching re-broadcasts nnz(A) per extra batch, row batching re-broadcasts
+// nnz(B) (Table II's A-Broadcast row applied to the transposed product).
+func RowBatchedCheaper(a, b *spmat.CSC) bool {
+	return b.NNZ() < a.NNZ()
+}

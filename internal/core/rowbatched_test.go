@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/localmm"
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+func TestRowBatchedMatchesSerial(t *testing.T) {
+	a := randomMat(t, 40, 36, 300, 70)
+	b := randomMat(t, 36, 44, 280, 71)
+	want := localmm.Multiply(a, b, semiring.PlusTimes())
+	rc := RunConfig{P: 8, L: 2, Cost: testCM, Opts: Options{ForceBatches: 3}}
+	got, results, err := MultiplyRowBatched(a, b, rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spmat.Equal(got, want) {
+		t.Error("row-batched result differs from serial")
+	}
+	if results[0].Batches != 3 {
+		t.Errorf("batches=%d", results[0].Batches)
+	}
+}
+
+func TestRowBatchedHookSeesRowBatches(t *testing.T) {
+	a := randomMat(t, 32, 32, 250, 72)
+	rowsSeen := map[int32]bool{}
+	rc := RunConfig{P: 4, L: 1, Cost: testCM, Opts: Options{ForceBatches: 2}}
+	_, _, err := MultiplyRowBatched(a, a, rc, func(rank int) BatchHook {
+		return func(_ int, globalCols []int32, piece *spmat.CSC) *spmat.CSC {
+			// globalCols of the transposed product are global rows of C.
+			for _, r := range globalCols {
+				rowsSeen[r] = true
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsSeen) != 32 {
+		t.Errorf("hooks saw %d distinct rows, want 32", len(rowsSeen))
+	}
+}
+
+func TestRowBatchedReBroadcastsSmallerOperand(t *testing.T) {
+	// With nnz(A) ≫ nnz(B), row batching should put far less volume through
+	// the per-batch rebroadcast than column batching does.
+	big := randomMat(t, 48, 48, 1200, 73)
+	small := randomMat(t, 48, 48, 90, 74)
+	if !RowBatchedCheaper(big, small) {
+		t.Fatal("expected row batching to be the cheaper orientation")
+	}
+	rc := RunConfig{P: 4, L: 1, Cost: testCM, Opts: Options{ForceBatches: 4}}
+
+	_, _, colSummary, err := Multiply(big, small, rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row-batched: Cᵀ = smallᵀ·bigᵀ, so the A-Broadcast carries smallᵀ.
+	at := spmat.Transpose(big)
+	bt := spmat.Transpose(small)
+	_, _, rowSummary, err := Multiply(bt, at, rc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRebcast := colSummary.Step(StepABcast).Bytes
+	rowRebcast := rowSummary.Step(StepABcast).Bytes
+	if !(rowRebcast < colRebcast/2) {
+		t.Errorf("row batching rebroadcast %d bytes, column batching %d; expected a large saving",
+			rowRebcast, colRebcast)
+	}
+}
+
+func TestRowBatchedRaggedAndLayers(t *testing.T) {
+	a := randomMat(t, 37, 41, 260, 75)
+	b := randomMat(t, 41, 29, 240, 76)
+	want := localmm.Multiply(a, b, semiring.PlusTimes())
+	for _, cfg := range []struct{ p, l, b int }{{9, 1, 2}, {16, 4, 3}} {
+		rc := RunConfig{P: cfg.p, L: cfg.l, Cost: testCM, Opts: Options{ForceBatches: cfg.b}}
+		got, _, err := MultiplyRowBatched(a, b, rc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spmat.Equal(got, want) {
+			t.Errorf("p=%d l=%d b=%d: row-batched ragged result differs", cfg.p, cfg.l, cfg.b)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// RunConfig describes one distributed multiplication launched from the host:
+// the process-grid shape, the α–β constants used to model communication, and
+// the algorithm options.
+type RunConfig struct {
+	// P is the number of simulated processes; must be L times a perfect
+	// square.
+	P int
+	// L is the number of layers (1 = plain 2D SUMMA).
+	L int
+	// Cost supplies the modeled latency and inverse bandwidth.
+	Cost mpi.CostModel
+	// Opts are the algorithm options shared by all ranks.
+	Opts Options
+}
+
+// Validate checks the grid shape.
+func (rc RunConfig) Validate() error {
+	if _, err := grid.SideFor(rc.P, rc.L); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HookFactory builds a per-rank batch hook; nil means no hook. The factory is
+// called once per rank with the world rank.
+type HookFactory func(rank int) BatchHook
+
+// RowOffsetFor returns the global row index of local row 0 for the given
+// world rank on a p-rank, l-layer grid over a matrix with the given row
+// count. Hook factories use it to translate the local row indices their
+// hooks receive into global rows.
+func RowOffsetFor(rows int32, p, l, rank int) int32 {
+	q, err := grid.SideFor(p, l)
+	if err != nil {
+		panic(err)
+	}
+	i := (rank % (q * q)) / q
+	return spmat.PartBounds(rows, q)[i]
+}
+
+// Multiply runs BatchedSUMMA3D for C = A·B on a fresh simulated cluster and
+// returns the assembled global product, the per-rank results, and the step
+// metering summary.
+func Multiply(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) (*spmat.CSC, []*Result, *mpi.Summary, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	results := make([]*Result, rc.P)
+	errs := make([]error, rc.P)
+	var mu sync.Mutex
+	meters := mpi.Run(rc.P, rc.Cost, func(c *mpi.Comm) {
+		g, err := grid.New(c, rc.L)
+		if err != nil {
+			mu.Lock()
+			errs[c.Rank()] = err
+			mu.Unlock()
+			return
+		}
+		proc, err := Setup(g, a, b, rc.Opts)
+		if err != nil {
+			mu.Lock()
+			errs[c.Rank()] = err
+			mu.Unlock()
+			return
+		}
+		var hook BatchHook
+		if hooks != nil {
+			hook = hooks(c.Rank())
+		}
+		res, err := proc.BatchedSUMMA3D(hook)
+		mu.Lock()
+		results[c.Rank()] = res
+		errs[c.Rank()] = err
+		mu.Unlock()
+	})
+	for r, err := range errs {
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+	assembled, err := AssembleResults(results, a.Rows, b.Cols)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return assembled, results, mpi.Summarize(meters), nil
+}
+
+// MultiplyDiscard is Multiply for workloads that consume batches through the
+// hook and never need the assembled product (the memory-constrained usage
+// the paper targets). It skips assembly and returns only results and metering.
+func MultiplyDiscard(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) ([]*Result, *mpi.Summary, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	results := make([]*Result, rc.P)
+	errs := make([]error, rc.P)
+	var mu sync.Mutex
+	discard := func(batch int, cols []int32, c *spmat.CSC) *spmat.CSC {
+		return spmat.New(c.Rows, c.Cols)
+	}
+	meters := mpi.Run(rc.P, rc.Cost, func(c *mpi.Comm) {
+		g, err := grid.New(c, rc.L)
+		if err == nil {
+			var proc *Proc
+			proc, err = Setup(g, a, b, rc.Opts)
+			if err == nil {
+				var res *Result
+				userHook := BatchHook(nil)
+				if hooks != nil {
+					userHook = hooks(c.Rank())
+				}
+				hook := func(batch int, cols []int32, m *spmat.CSC) *spmat.CSC {
+					if userHook != nil {
+						if pruned := userHook(batch, cols, m); pruned != nil {
+							m = pruned
+						}
+					}
+					return discard(batch, cols, m)
+				}
+				res, err = proc.BatchedSUMMA3D(hook)
+				mu.Lock()
+				results[c.Rank()] = res
+				mu.Unlock()
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			errs[c.Rank()] = err
+			mu.Unlock()
+		}
+	})
+	for r, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+	return results, mpi.Summarize(meters), nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/localmm"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// summa2DStage runs the two broadcasts and the local multiply of one SUMMA
+// stage (Alg 1 lines 5–7) for the given batch piece of B, returning the
+// stage's partial product and charging flop counts to res.
+func (p *Proc) summa2DStage(s int, bBatch *spmat.CSC, res *Result) *spmat.CSC {
+	g := p.G
+	meter := g.World.Meter()
+
+	// A-Broadcast along the process row: root is the rank at column s.
+	meter.SetCategory(StepABcast)
+	var aMsg mpi.Payload
+	if g.J == s {
+		aMsg = p.LocalA
+	}
+	aRecv := g.Row.Bcast(s, aMsg).(*spmat.CSC)
+
+	// B-Broadcast along the process column: root is the rank at row s.
+	meter.SetCategory(StepBBcast)
+	var bMsg mpi.Payload
+	if g.I == s {
+		bMsg = bBatch
+	}
+	bRecv := g.Col.Bcast(s, bMsg).(*spmat.CSC)
+
+	stageFlops := localmm.Flops(aRecv, bRecv)
+	res.LocalFlops += stageFlops
+
+	// Local multiply (Alg 1 line 7). Work units = flops plus the operand
+	// traversal cost, so empty products still carry their column-scan work.
+	meter.SetCategory(StepLocalMult)
+	var prod *spmat.CSC
+	sec := mpi.MeasureCompute(func() {
+		prod = p.kernelFn()(aRecv, bRecv)
+	})
+	meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
+	return prod
+}
+
+// summa2D executes Alg 1 on this rank's layer for one batch piece of B:
+// q stages of broadcasts and local multiplies, then a single Merge-Layer
+// (the paper merges once after all stages; see Sec. III-A). With
+// Options.IncrementalMerge the stage products are folded into a running
+// accumulator instead — lower peak memory, more merge work.
+func (p *Proc) summa2D(bBatch *spmat.CSC, res *Result) *spmat.CSC {
+	if p.Opts.IncrementalMerge {
+		return p.summa2DIncremental(bBatch, res)
+	}
+	g := p.G
+	meter := g.World.Meter()
+	stages := g.Q
+	partial := make([]*spmat.CSC, 0, stages)
+	var unmerged int64
+	for s := 0; s < stages; s++ {
+		prod := p.summa2DStage(s, bBatch, res)
+		partial = append(partial, prod)
+		unmerged += prod.NNZ()
+	}
+	res.UnmergedNNZ += unmerged
+	// Peak: inputs plus all unmerged stage products live simultaneously.
+	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged)
+
+	// Merge-Layer (Alg 1 line 8). Output may stay unsorted: only the final
+	// Merge-Fiber output must be sorted (Sec. IV-D).
+	meter.SetCategory(StepMergeLayer)
+	var d *spmat.CSC
+	mergeSec := mpi.MeasureCompute(func() {
+		d = p.mergeFn()(partial, false)
+	})
+	meter.AddComputeWork(mergeSec, unmerged+int64(bBatch.Cols)+1)
+	res.MergedLayerNNZ += d.NNZ()
+	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged+d.NNZ())
+	return d
+}
+
+// summa2DIncremental is the merge-per-stage variant: after each stage the
+// product is merged into the accumulator, so at most one stage product and
+// the accumulator are live simultaneously.
+func (p *Proc) summa2DIncremental(bBatch *spmat.CSC, res *Result) *spmat.CSC {
+	g := p.G
+	meter := g.World.Meter()
+	stages := g.Q
+	var acc *spmat.CSC
+	for s := 0; s < stages; s++ {
+		prod := p.summa2DStage(s, bBatch, res)
+		res.UnmergedNNZ += prod.NNZ()
+		if acc == nil {
+			acc = prod
+			p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+acc.NNZ())
+			continue
+		}
+		meter.SetCategory(StepMergeLayer)
+		work := acc.NNZ() + prod.NNZ()
+		p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+work)
+		pair := []*spmat.CSC{acc, prod}
+		var merged *spmat.CSC
+		sec := mpi.MeasureCompute(func() {
+			merged = p.mergeFn()(pair, false)
+		})
+		meter.AddComputeWork(sec, work+1)
+		acc = merged
+	}
+	if acc == nil {
+		acc = spmat.New(p.LocalA.Rows, bBatch.Cols)
+	}
+	res.MergedLayerNNZ += acc.NNZ()
+	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+acc.NNZ())
+	return acc
+}
+
+// summa3DBatch executes one batch of Alg 2: per-layer 2D SUMMA, the fiber
+// AllToAll, and the fiber merge. Returns the local batch output (sorted) and
+// the local column offsets (within this rank's block column) it covers.
+func (p *Proc) summa3DBatch(t int, res *Result) (*spmat.CSC, []int32) {
+	g := p.G
+	meter := g.World.Meter()
+
+	// Extract this batch's piece of the local B (block-cyclic, Fig 1(i)).
+	batchCols := p.bt.BatchCols(t)
+	bBatch := spmat.ColSelect(p.LocalB, batchCols)
+
+	// Per-layer 2D multiply (Alg 2 line 3).
+	d := p.summa2D(bBatch, res)
+
+	// ColSplit + AllToAll along the fiber (Alg 2 lines 4–5).
+	meter.SetCategory(StepAllToAll)
+	pieces, _ := p.bt.SplitByLayer(d, t)
+	send := make([]mpi.Payload, g.L)
+	for m := 0; m < g.L; m++ {
+		send[m] = pieces[m]
+	}
+	recv := g.Fiber.AllToAllv(send)
+
+	// Merge-Fiber (Alg 2 line 6): the final output is sorted here and only
+	// here (Sec. IV-D).
+	meter.SetCategory(StepMergeFiber)
+	mats := make([]*spmat.CSC, 0, g.L)
+	var recvNNZ int64
+	for _, r := range recv {
+		if r == nil {
+			continue
+		}
+		m := r.(*spmat.CSC)
+		mats = append(mats, m)
+		recvNNZ += m.NNZ()
+	}
+	var c *spmat.CSC
+	fiberSec := mpi.MeasureCompute(func() {
+		if len(mats) == 0 {
+			c = spmat.New(d.Rows, 0)
+		} else {
+			c = p.mergeFn()(mats, true)
+		}
+	})
+	meter.AddComputeWork(fiberSec, recvNNZ+1)
+	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+recvNNZ+c.NNZ())
+	return c, p.bt.BatchLayerCols(t, g.K)
+}
+
+// trackPeak records a modeled memory checkpoint of live nonzeros.
+func (p *Proc) trackPeak(res *Result, liveNNZ int64) {
+	if mem := liveNNZ * p.Opts.BytesPerNnz; mem > res.PeakMemBytes {
+		res.PeakMemBytes = mem
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/localmm"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// Symbolic3D executes Algorithm 3: the communication-avoiding distributed
+// symbolic step that estimates the number of batches b required for the
+// multiplication to fit in M aggregate bytes. Like SUMMA3D it broadcasts Ã
+// and B̃ through every stage of every layer, but the local work only counts
+// output nonzeros (LOCALSYMBOLIC), so the broadcasts dominate and the 3D
+// communication-avoidance matters even more (Fig 8).
+//
+// It returns the estimated batch count b ≥ 1 and the max-over-ranks unmerged
+// output nonzeros the estimate was based on. The estimate uses per-process
+// maxima (not averages) so that no process exhausts its share of memory even
+// under load imbalance.
+func (p *Proc) Symbolic3D() (b int, maxNNZC int64, err error) {
+	g := p.G
+	meter := g.World.Meter()
+	meter.SetCategory(StepSymbolic)
+
+	var localNNZ int64 // nnz[i,j,k] of Alg 3
+	stages := g.Q
+	for s := 0; s < stages; s++ {
+		// The broadcasts mirror SUMMA3D's but are charged to Symbolic.
+		var aMsg mpi.Payload
+		if g.J == s {
+			aMsg = p.LocalA
+		}
+		aRecv := g.Row.Bcast(s, aMsg).(*spmat.CSC)
+
+		var bMsg mpi.Payload
+		if g.I == s {
+			bMsg = p.LocalB
+		}
+		bRecv := g.Col.Bcast(s, bMsg).(*spmat.CSC)
+
+		symFlops := localmm.Flops(aRecv, bRecv)
+		symSec := mpi.MeasureCompute(func() {
+			localNNZ += localmm.SymbolicSpGEMM(aRecv, bRecv)
+		})
+		meter.AddComputeWork(symSec, symFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
+	}
+
+	// Alg 3 lines 9–11: max unmerged output, max Ã, max B̃ over all ranks.
+	maxNNZC = g.World.AllreduceInt64(localNNZ, mpi.OpMax)
+	maxNNZA := g.World.AllreduceInt64(p.LocalA.NNZ(), mpi.OpMax)
+	maxNNZB := g.World.AllreduceInt64(p.LocalB.NNZ(), mpi.OpMax)
+
+	b, err = batchesFor(maxNNZC, maxNNZA, maxNNZB, p.Opts, g.P())
+	return b, maxNNZC, err
+}
+
+// batchesFor evaluates Alg 3 line 12: b = ⌈r·maxnnzC / (M/p − r·(maxnnzA +
+// maxnnzB))⌉, clamped to at least 1. An unconstrained memory budget yields 1.
+func batchesFor(maxNNZC, maxNNZA, maxNNZB int64, opts Options, p int) (int, error) {
+	if opts.MemBytes <= 0 {
+		return 1, nil
+	}
+	r := opts.BytesPerNnz
+	perProc := float64(opts.MemBytes) / float64(p)
+	avail := perProc - float64(r*(maxNNZA+maxNNZB))
+	if avail <= 0 {
+		return 0, fmt.Errorf("core: inputs alone exceed the memory budget: per-process %g bytes, inputs need %d",
+			perProc, r*(maxNNZA+maxNNZB))
+	}
+	b := int((float64(r*maxNNZC) + avail - 1) / avail)
+	if b < 1 {
+		b = 1
+	}
+	if opts.MaxBatches > 0 && b > opts.MaxBatches {
+		b = opts.MaxBatches
+	}
+	return b, nil
+}
+
+// BatchLowerBound evaluates the analytic lower bound of Eq 2 on the host:
+// b ≥ ⌈mem(C) / (M − r(nnz(A)+nnz(B)))⌉ where mem(C) = r·Σ_k nnz(D(k)) is the
+// aggregate unmerged intermediate size. Returns 1 when memory is
+// unconstrained.
+func BatchLowerBound(memC, nnzA, nnzB, memBytes, bytesPerNnz int64) int {
+	if memBytes <= 0 {
+		return 1
+	}
+	avail := memBytes - bytesPerNnz*(nnzA+nnzB)
+	if avail <= 0 {
+		return 1 << 30 // effectively infeasible
+	}
+	b := (memC + avail - 1) / avail
+	if b < 1 {
+		return 1
+	}
+	return int(b)
+}

@@ -1,0 +1,221 @@
+// Package distmat implements the paper's 3D matrix distributions (Fig 1) and
+// the block-cyclic batch decomposition (Fig 1(i), Sec. IV-B).
+//
+// On a √(p/l) × √(p/l) × l grid with per-layer side q:
+//
+//   - A (and C) style: rows are split into q blocks; columns are split into q
+//     block-columns, and each block-column is sliced into l contiguous pieces,
+//     one per layer, so that layers respect the 2D process boundaries
+//     (Fig 1(c)). The local Ã at (i,j,k) is (rows/q) × (cols/(q·l)).
+//
+//   - B style: transposed arrangement — columns form q blocks, rows form q
+//     block-rows each sliced into l pieces (Fig 1(f)). The local B̃ is
+//     (rows/(q·l)) × (cols/q).
+//
+// Batching splits the columns of B (and C) block-cyclically: within a block
+// column of width w, chunks of blk = ⌈w/(b·l)⌉ consecutive columns are dealt
+// out so chunk g belongs to batch (g mod b) and, within its batch, to layer
+// (g div b) mod l. With b = 1 this degenerates to the contiguous layer slices
+// of the A distribution, which is what keeps C "distributed similar to A"
+// when no batching is needed.
+package distmat
+
+import (
+	"fmt"
+
+	"repro/internal/spmat"
+)
+
+// ADist describes the A-style distribution of a rows×cols matrix on a q×q×l
+// grid.
+type ADist struct {
+	Rows, Cols int32
+	Q, L       int
+	// RowB are the q+1 row block bounds; ColB the q+1 column block bounds.
+	RowB, ColB []int32
+}
+
+// NewADist builds the A-style descriptor.
+func NewADist(rows, cols int32, q, l int) *ADist {
+	return &ADist{
+		Rows: rows, Cols: cols, Q: q, L: l,
+		RowB: spmat.PartBounds(rows, q),
+		ColB: spmat.PartBounds(cols, q),
+	}
+}
+
+// RowRangeOf returns the global row range [lo, hi) owned by process row i.
+func (d *ADist) RowRangeOf(i int) (int32, int32) { return d.RowB[i], d.RowB[i+1] }
+
+// ColSliceOf returns the global column range [lo, hi) owned by (·, j, k):
+// slice k of block-column j.
+func (d *ADist) ColSliceOf(j, k int) (int32, int32) {
+	c0, c1 := d.ColB[j], d.ColB[j+1]
+	sb := spmat.PartBounds(c1-c0, d.L)
+	return c0 + sb[k], c0 + sb[k+1]
+}
+
+// Local extracts the piece of the global matrix owned by (i, j, k), with
+// local (0-based) indices.
+func (d *ADist) Local(global *spmat.CSC, i, j, k int) *spmat.CSC {
+	d.check(global)
+	r0, r1 := d.RowRangeOf(i)
+	c0, c1 := d.ColSliceOf(j, k)
+	return spmat.RowRange(spmat.ColRange(global, c0, c1), r0, r1)
+}
+
+func (d *ADist) check(global *spmat.CSC) {
+	if global.Rows != d.Rows || global.Cols != d.Cols {
+		panic(fmt.Sprintf("distmat: matrix %v does not match layout %dx%d", global, d.Rows, d.Cols))
+	}
+}
+
+// Assemble reconstructs the global matrix from the per-coordinate local
+// pieces (inverse of Local); used to validate distributions and gather
+// results.
+func (d *ADist) Assemble(pieces map[[3]int]*spmat.CSC) *spmat.CSC {
+	var ts []spmat.Triple
+	for coord, m := range pieces {
+		i, j, k := coord[0], coord[1], coord[2]
+		r0, _ := d.RowRangeOf(i)
+		c0, _ := d.ColSliceOf(j, k)
+		for _, t := range m.Triples() {
+			ts = append(ts, spmat.Triple{Row: t.Row + r0, Col: t.Col + c0, Val: t.Val})
+		}
+	}
+	out, err := spmat.FromTriples(d.Rows, d.Cols, ts, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// BDist describes the B-style distribution of a rows×cols matrix on a q×q×l
+// grid: rows sliced across layers, columns blocked.
+type BDist struct {
+	Rows, Cols int32
+	Q, L       int
+	RowB, ColB []int32
+}
+
+// NewBDist builds the B-style descriptor.
+func NewBDist(rows, cols int32, q, l int) *BDist {
+	return &BDist{
+		Rows: rows, Cols: cols, Q: q, L: l,
+		RowB: spmat.PartBounds(rows, q),
+		ColB: spmat.PartBounds(cols, q),
+	}
+}
+
+// RowSliceOf returns the global row range [lo, hi) owned by (i, ·, k): slice
+// k of block-row i. It mirrors ADist.ColSliceOf so that A's inner-dimension
+// slices align with B's (the SUMMA stages depend on this).
+func (d *BDist) RowSliceOf(i, k int) (int32, int32) {
+	r0, r1 := d.RowB[i], d.RowB[i+1]
+	sb := spmat.PartBounds(r1-r0, d.L)
+	return r0 + sb[k], r0 + sb[k+1]
+}
+
+// ColRangeOf returns the global column range [lo, hi) owned by process
+// column j.
+func (d *BDist) ColRangeOf(j int) (int32, int32) { return d.ColB[j], d.ColB[j+1] }
+
+// Local extracts the piece of the global matrix owned by (i, j, k).
+func (d *BDist) Local(global *spmat.CSC, i, j, k int) *spmat.CSC {
+	if global.Rows != d.Rows || global.Cols != d.Cols {
+		panic(fmt.Sprintf("distmat: matrix %v does not match layout %dx%d", global, d.Rows, d.Cols))
+	}
+	r0, r1 := d.RowSliceOf(i, k)
+	c0, c1 := d.ColRangeOf(j)
+	return spmat.RowRange(spmat.ColRange(global, c0, c1), r0, r1)
+}
+
+// Assemble reconstructs the global matrix from per-coordinate local pieces.
+func (d *BDist) Assemble(pieces map[[3]int]*spmat.CSC) *spmat.CSC {
+	var ts []spmat.Triple
+	for coord, m := range pieces {
+		i, j, k := coord[0], coord[1], coord[2]
+		r0, _ := d.RowSliceOf(i, k)
+		c0, _ := d.ColRangeOf(j)
+		for _, t := range m.Triples() {
+			ts = append(ts, spmat.Triple{Row: t.Row + r0, Col: t.Col + c0, Val: t.Val})
+		}
+	}
+	out, err := spmat.FromTriples(d.Rows, d.Cols, ts, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Batching is the block-cyclic batch/layer assignment for the columns of one
+// block-column of B (equivalently C), per Sec. IV-B.
+type Batching struct {
+	// Width is the block-column width in columns.
+	Width int32
+	// B and L are the batch and layer counts.
+	B, L int
+	// Blk is the cyclic chunk width ⌈Width/(B·L)⌉ (minimum 1).
+	Blk int32
+}
+
+// NewBatching computes the chunk width for a block column of the given width.
+func NewBatching(width int32, b, l int) Batching {
+	per := int64(b) * int64(l)
+	blk := (int64(width) + per - 1) / per
+	if blk < 1 {
+		blk = 1
+	}
+	return Batching{Width: width, B: b, L: l, Blk: int32(blk)}
+}
+
+// BatchOf returns the batch owning local column offset o.
+func (bt Batching) BatchOf(o int32) int { return int(o/bt.Blk) % bt.B }
+
+// LayerOf returns the layer owning local column offset o (within its batch).
+func (bt Batching) LayerOf(o int32) int { return int(o/bt.Blk) / bt.B % bt.L }
+
+// BatchCols returns the local column offsets of batch t, ascending.
+func (bt Batching) BatchCols(t int) []int32 {
+	var out []int32
+	for o := int32(0); o < bt.Width; o++ {
+		if bt.BatchOf(o) == t {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// BatchLayerCols returns the local column offsets owned by (batch t, layer k),
+// ascending.
+func (bt Batching) BatchLayerCols(t, k int) []int32 {
+	var out []int32
+	for o := int32(0); o < bt.Width; o++ {
+		if bt.BatchOf(o) == t && bt.LayerOf(o) == k {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SplitByLayer partitions the columns of a batch-local matrix (whose column x
+// corresponds to BatchCols(t)[x]) into l pieces by owning layer, returning
+// the pieces and, for bookkeeping, the local offsets each piece covers.
+func (bt Batching) SplitByLayer(m *spmat.CSC, t int) ([]*spmat.CSC, [][]int32) {
+	cols := bt.BatchCols(t)
+	if int32(len(cols)) != m.Cols {
+		panic(fmt.Sprintf("distmat: batch matrix has %d cols, batching expects %d", m.Cols, len(cols)))
+	}
+	lists := make([][]int32, bt.L)   // indices into m's columns
+	offsets := make([][]int32, bt.L) // block-column offsets
+	for x, o := range cols {
+		k := bt.LayerOf(o)
+		lists[k] = append(lists[k], int32(x))
+		offsets[k] = append(offsets[k], o)
+	}
+	pieces := make([]*spmat.CSC, bt.L)
+	for k := 0; k < bt.L; k++ {
+		pieces[k] = spmat.ColSelect(m, lists[k])
+	}
+	return pieces, offsets
+}

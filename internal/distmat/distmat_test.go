@@ -1,0 +1,320 @@
+package distmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spmat"
+)
+
+func randomMat(t testing.TB, rows, cols int32, nnz int, seed int64) *spmat.CSC {
+	if t != nil {
+		t.Helper()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]spmat.Triple, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		ts = append(ts, spmat.Triple{
+			Row: int32(rng.Intn(int(rows))),
+			Col: int32(rng.Intn(int(cols))),
+			Val: float64(rng.Intn(9) + 1),
+		})
+	}
+	m, err := spmat.FromTriples(rows, cols, ts, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestADistributeAssembleRoundTrip(t *testing.T) {
+	for _, shape := range []struct {
+		rows, cols int32
+		q, l       int
+	}{
+		{64, 64, 2, 2},
+		{64, 64, 4, 1},
+		{63, 61, 2, 2}, // ragged
+		{50, 40, 2, 4},
+		{17, 90, 3, 2},
+	} {
+		m := randomMat(t, shape.rows, shape.cols, int(shape.rows)*3, int64(shape.rows))
+		d := NewADist(shape.rows, shape.cols, shape.q, shape.l)
+		pieces := map[[3]int]*spmat.CSC{}
+		var totalNNZ int64
+		for i := 0; i < shape.q; i++ {
+			for j := 0; j < shape.q; j++ {
+				for k := 0; k < shape.l; k++ {
+					p := d.Local(m, i, j, k)
+					pieces[[3]int{i, j, k}] = p
+					totalNNZ += p.NNZ()
+				}
+			}
+		}
+		if totalNNZ != m.NNZ() {
+			t.Errorf("%+v: pieces have %d nnz, matrix has %d", shape, totalNNZ, m.NNZ())
+		}
+		if !spmat.Equal(d.Assemble(pieces), m) {
+			t.Errorf("%+v: A-distribution round trip failed", shape)
+		}
+	}
+}
+
+func TestBDistributeAssembleRoundTrip(t *testing.T) {
+	for _, shape := range []struct {
+		rows, cols int32
+		q, l       int
+	}{
+		{64, 64, 2, 2},
+		{63, 61, 2, 2},
+		{40, 50, 2, 4},
+		{90, 17, 3, 2},
+	} {
+		m := randomMat(t, shape.rows, shape.cols, int(shape.rows)*3, int64(shape.cols))
+		d := NewBDist(shape.rows, shape.cols, shape.q, shape.l)
+		pieces := map[[3]int]*spmat.CSC{}
+		var totalNNZ int64
+		for i := 0; i < shape.q; i++ {
+			for j := 0; j < shape.q; j++ {
+				for k := 0; k < shape.l; k++ {
+					p := d.Local(m, i, j, k)
+					pieces[[3]int{i, j, k}] = p
+					totalNNZ += p.NNZ()
+				}
+			}
+		}
+		if totalNNZ != m.NNZ() {
+			t.Errorf("%+v: pieces have %d nnz, matrix has %d", shape, totalNNZ, m.NNZ())
+		}
+		if !spmat.Equal(d.Assemble(pieces), m) {
+			t.Errorf("%+v: B-distribution round trip failed", shape)
+		}
+	}
+}
+
+func TestInnerDimensionSlicesAlign(t *testing.T) {
+	// A's column slices must equal B's row slices for every (block, layer):
+	// SUMMA stage s at layer k multiplies Ã from column block s (slice k)
+	// with B̃ from row block s (slice k).
+	const n = 57
+	for _, ql := range [][2]int{{2, 2}, {3, 4}, {4, 1}} {
+		q, l := ql[0], ql[1]
+		a := NewADist(100, n, q, l)
+		b := NewBDist(n, 80, q, l)
+		for s := 0; s < q; s++ {
+			for k := 0; k < l; k++ {
+				alo, ahi := a.ColSliceOf(s, k)
+				blo, bhi := b.RowSliceOf(s, k)
+				if alo != blo || ahi != bhi {
+					t.Errorf("q=%d l=%d block %d layer %d: A cols [%d,%d) vs B rows [%d,%d)",
+						q, l, s, k, alo, ahi, blo, bhi)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalShapes(t *testing.T) {
+	// Divisible case: Ã is (n/q)×(n/(q·l)), B̃ is (n/(q·l))×(n/q) (Fig 1).
+	const n = 48
+	q, l := 2, 3
+	m := randomMat(t, n, n, 200, 99)
+	da := NewADist(n, n, q, l)
+	db := NewBDist(n, n, q, l)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			for k := 0; k < l; k++ {
+				la := da.Local(m, i, j, k)
+				if la.Rows != n/int32(q) || la.Cols != n/int32(q*l) {
+					t.Errorf("Ã(%d,%d,%d) is %dx%d, want %dx%d", i, j, k, la.Rows, la.Cols, n/q, n/(q*l))
+				}
+				lb := db.Local(m, i, j, k)
+				if lb.Rows != n/int32(q*l) || lb.Cols != n/int32(q) {
+					t.Errorf("B̃(%d,%d,%d) is %dx%d, want %dx%d", i, j, k, lb.Rows, lb.Cols, n/(q*l), n/q)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchingPartitionsAllColumns(t *testing.T) {
+	for _, c := range []struct {
+		width int32
+		b, l  int
+	}{
+		{16, 2, 2}, {16, 4, 2}, {17, 2, 2}, {5, 4, 4}, {1, 2, 2}, {60, 3, 5},
+	} {
+		bt := NewBatching(c.width, c.b, c.l)
+		seen := make([]bool, c.width)
+		var n int
+		for t2 := 0; t2 < c.b; t2++ {
+			for _, o := range bt.BatchCols(t2) {
+				if seen[o] {
+					t.Errorf("%+v: column %d in two batches", c, o)
+				}
+				seen[o] = true
+				n++
+			}
+		}
+		if n != int(c.width) {
+			t.Errorf("%+v: covered %d of %d columns", c, n, c.width)
+		}
+		// Batch+layer refines batch.
+		for t2 := 0; t2 < c.b; t2++ {
+			var m int
+			for k := 0; k < c.l; k++ {
+				m += len(bt.BatchLayerCols(t2, k))
+			}
+			if m != len(bt.BatchCols(t2)) {
+				t.Errorf("%+v batch %d: layers cover %d of %d", c, t2, m, len(bt.BatchCols(t2)))
+			}
+		}
+	}
+}
+
+func TestBatchingDegeneratesToSlices(t *testing.T) {
+	// With b=1 and width divisible by l, the layer assignment is the
+	// contiguous slicing of the A distribution.
+	bt := NewBatching(12, 1, 3)
+	for k := 0; k < 3; k++ {
+		cols := bt.BatchLayerCols(0, k)
+		if len(cols) != 4 {
+			t.Fatalf("layer %d: %d cols", k, len(cols))
+		}
+		for x, o := range cols {
+			if o != int32(k*4+x) {
+				t.Errorf("layer %d not contiguous: %v", k, cols)
+			}
+		}
+	}
+}
+
+func TestBatchingFig1iExample(t *testing.T) {
+	// Fig 1(i): width 4 per process block (n=8, q=2), b=2, l=2 → blk=1.
+	// Chunks 0..3 → batch (g mod 2), layer (g/2 mod 2):
+	//  col 0: batch 0 layer 0; col 1: batch 1 layer 0;
+	//  col 2: batch 0 layer 1; col 3: batch 1 layer 1.
+	bt := NewBatching(4, 2, 2)
+	if bt.Blk != 1 {
+		t.Fatalf("blk=%d, want 1", bt.Blk)
+	}
+	if got := bt.BatchCols(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("batch 0 cols=%v, want [0 2]", got)
+	}
+	if got := bt.BatchCols(1); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("batch 1 cols=%v, want [1 3]", got)
+	}
+	if bt.LayerOf(0) != 0 || bt.LayerOf(2) != 1 {
+		t.Error("layer assignment wrong")
+	}
+}
+
+func TestSplitByLayer(t *testing.T) {
+	m := randomMat(t, 10, 8, 40, 7)
+	bt := NewBatching(m.Cols*2, 2, 2) // width 16, b=2, l=2, blk=4
+	// Batch 0 columns: offsets {0..3, 8..11}; take the matching 8 columns.
+	batchCols := bt.BatchCols(0)
+	if int32(len(batchCols)) != m.Cols {
+		t.Fatalf("batch has %d cols, fixture expects %d", len(batchCols), m.Cols)
+	}
+	pieces, offsets := bt.SplitByLayer(m, 0)
+	if len(pieces) != 2 {
+		t.Fatalf("pieces=%d", len(pieces))
+	}
+	var total int64
+	for k, p := range pieces {
+		total += p.NNZ()
+		for x := range offsets[k] {
+			if bt.LayerOf(offsets[k][x]) != k {
+				t.Errorf("piece %d contains offset %d of layer %d", k, offsets[k][x], bt.LayerOf(offsets[k][x]))
+			}
+			_ = x
+		}
+	}
+	if total != m.NNZ() {
+		t.Errorf("pieces lost entries: %d vs %d", total, m.NNZ())
+	}
+}
+
+func TestBatchingLoadBalance(t *testing.T) {
+	// Block-cyclic batching keeps per-(batch,layer) column counts within one
+	// chunk of each other — the Merge-Fiber balance motivation of Sec. IV-B.
+	bt := NewBatching(64, 4, 4)
+	min, max := int32(1<<30), int32(0)
+	for t2 := 0; t2 < 4; t2++ {
+		for k := 0; k < 4; k++ {
+			n := int32(len(bt.BatchLayerCols(t2, k)))
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+	}
+	if max-min > bt.Blk {
+		t.Errorf("imbalance %d exceeds one chunk (%d)", max-min, bt.Blk)
+	}
+}
+
+func TestBatchingPartitionProperty(t *testing.T) {
+	// For random (width, b, l), the batch/layer assignment partitions the
+	// columns, and piece sizes differ by at most one chunk.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := int32(rng.Intn(200) + 1)
+		b := rng.Intn(8) + 1
+		l := rng.Intn(8) + 1
+		bt := NewBatching(width, b, l)
+		seen := make([]bool, width)
+		for t2 := 0; t2 < b; t2++ {
+			for k := 0; k < l; k++ {
+				for _, o := range bt.BatchLayerCols(t2, k) {
+					if o < 0 || o >= width || seen[o] {
+						return false
+					}
+					seen[o] = true
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionRoundTripProperty(t *testing.T) {
+	// Random shapes and grids: Local + Assemble is the identity for both
+	// distributions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int32(rng.Intn(60) + 1)
+		cols := int32(rng.Intn(60) + 1)
+		q := rng.Intn(3) + 1
+		l := rng.Intn(3) + 1
+		m := randomMat(nil, rows, cols, rng.Intn(150), seed)
+		da := NewADist(rows, cols, q, l)
+		db := NewBDist(rows, cols, q, l)
+		piecesA := map[[3]int]*spmat.CSC{}
+		piecesB := map[[3]int]*spmat.CSC{}
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				for k := 0; k < l; k++ {
+					piecesA[[3]int{i, j, k}] = da.Local(m, i, j, k)
+					piecesB[[3]int{i, j, k}] = db.Local(m, i, j, k)
+				}
+			}
+		}
+		return spmat.Equal(da.Assemble(piecesA), m) && spmat.Equal(db.Assemble(piecesB), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

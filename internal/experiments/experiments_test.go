@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+func tinyOpts() RunOpts {
+	return RunOpts{Scale: ScaleTiny, Machine: costmodel.CoriKNL()}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation section must be registered.
+	want := []string{
+		"table2", "table3", "table5", "table6", "table7",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if len(List()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(List()), len(want))
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestListOrdered(t *testing.T) {
+	ids := List()
+	// tables first, then figures in numeric order.
+	if ids[0].ID != "table2" {
+		t.Errorf("first is %s", ids[0].ID)
+	}
+	last := ids[len(ids)-1]
+	if last.ID != "fig15" {
+		t.Errorf("last is %s", last.ID)
+	}
+}
+
+// TestAllExperimentsRunTiny executes every experiment end to end at tiny
+// scale: the complete reproduction pipeline must work.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(tinyOpts())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q", rep.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range rep.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q empty", tb.Name)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Errorf("table %q: row width %d, header %d", tb.Name, len(row), len(tb.Header))
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Error("render missing id")
+			}
+			if len(rep.Findings) == 0 {
+				t.Errorf("%s produced no findings", e.ID)
+			}
+		})
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"tiny": ScaleTiny, "small": ScaleSmall, "large": ScaleLarge, "": ScaleSmall} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q)=%v,%v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestWorkloadsAll(t *testing.T) {
+	for _, name := range WorkloadNames {
+		a, err := Workload(name, ScaleTiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", name)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Determinism.
+		b, _ := Workload(name, ScaleTiny)
+		if a.NNZ() != b.NNZ() {
+			t.Errorf("%s: non-deterministic", name)
+		}
+	}
+	if _, err := Workload("nope", ScaleTiny); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestWorkloadScalesGrow(t *testing.T) {
+	small, _ := Workload(WLEukarya, ScaleTiny)
+	big, _ := Workload(WLEukarya, ScaleSmall)
+	if big.NNZ() <= small.NNZ() {
+		t.Errorf("small scale (%d nnz) not larger than tiny (%d nnz)", big.NNZ(), small.NNZ())
+	}
+}
+
+func TestPairFor(t *testing.T) {
+	sq, _ := Workload(WLEukarya, ScaleTiny)
+	a, b := PairFor(sq)
+	if a != b {
+		t.Error("square workload should pair with itself")
+	}
+	rect, _ := Workload(WLRiceKmers, ScaleTiny)
+	a, b = PairFor(rect)
+	if a == b || b.Rows != rect.Cols || b.Cols != rect.Rows {
+		t.Error("rectangular workload should pair with its transpose")
+	}
+}
+
+func TestArrowClassifier(t *testing.T) {
+	if arrow(10, 20, 0.15) != "↑" || arrow(20, 10, 0.15) != "↓" || arrow(10, 10.5, 0.15) != "↔" {
+		t.Error("arrow misclassifies")
+	}
+	if arrow(0, 0, 0.1) != "↔" || arrow(0, 5, 0.1) != "↑" {
+		t.Error("arrow zero handling wrong")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	r := &Report{ID: "x", Title: "t"}
+	tb := r.NewTable("demo", "a", "bbbb")
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	var header string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a") {
+			header = l
+			break
+		}
+	}
+	if !strings.Contains(header, "bbbb") {
+		t.Errorf("header misrendered: %q", header)
+	}
+}

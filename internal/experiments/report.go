@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated cluster. Each experiment is registered
+// under the paper's identifier (fig3 … fig15, table2 … table7) and produces a
+// textual Report with the same rows/series the paper plots, plus an expected
+// qualitative shape so EXPERIMENTS.md can record paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one rectangular block of results.
+type Table struct {
+	// Name captions the table.
+	Name string
+	// Header labels the columns.
+	Header []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes carries caveats (scaling substitutions, seeds, …).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Report is an experiment's full output.
+type Report struct {
+	// ID is the registry key (e.g. "fig6").
+	ID string
+	// Title restates what the paper's artifact shows.
+	Title string
+	// PaperClaim summarizes the shape the paper reports.
+	PaperClaim string
+	// Tables hold the measured series.
+	Tables []*Table
+	// Findings states the measured shape for EXPERIMENTS.md.
+	Findings []string
+}
+
+// NewTable appends and returns a fresh table.
+func (r *Report) NewTable(name string, header ...string) *Table {
+	t := &Table{Name: name, Header: header}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Finding records one measured-shape statement.
+func (r *Report) Finding(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// Render writes the report as aligned text.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if r.PaperClaim != "" {
+		if _, err := fmt.Fprintf(w, "paper: %s\n", r.PaperClaim); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", t.Name); err != nil {
+			return err
+		}
+		if err := renderTable(w, t); err != nil {
+			return err
+		}
+		for _, n := range t.Notes {
+			if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.Findings) > 0 {
+		if _, err := fmt.Fprintln(w, "\nmeasured:"); err != nil {
+			return err
+		}
+		for _, f := range r.Findings {
+			if _, err := fmt.Fprintf(w, "  - %s\n", f); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// renderTable aligns columns to their widest cell.
+func renderTable(w io.Writer, t *Table) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", max(0, pad)))
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	var total int
+	for _, x := range widths {
+		total += x + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", max(0, total-2))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment couples an identifier with a runner.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(opts RunOpts) (*Report, error)
+}
+
+var registry = map[string]*Experiment{}
+
+// register adds an experiment at init time.
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (run 'list')", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments ordered by id.
+func List() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return idOrder(out[a].ID) < idOrder(out[b].ID) })
+	return out
+}
+
+// idOrder sorts table2 < table3 < … < fig3 < fig4 … numerically.
+func idOrder(id string) string {
+	var prefix string
+	var n int
+	if strings.HasPrefix(id, "table") {
+		prefix = "0table"
+		fmt.Sscanf(id, "table%d", &n)
+	} else {
+		prefix = "1fig"
+		fmt.Sscanf(id, "fig%d", &n)
+	}
+	return fmt.Sprintf("%s%04d", prefix, n)
+}

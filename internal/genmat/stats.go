@@ -1,0 +1,53 @@
+package genmat
+
+import (
+	"fmt"
+
+	"repro/internal/localmm"
+	"repro/internal/spmat"
+)
+
+// Stats summarizes a matrix and its self-product the way the paper's Table V
+// does: rows, columns, nnz(A), nnz(C), and flops for C = A·A (or A·Aᵀ for
+// rectangular inputs).
+type Stats struct {
+	Name    string
+	Rows    int32
+	Cols    int32
+	NnzA    int64
+	NnzC    int64
+	Flops   int64
+	CF      float64 // compression factor flops/nnz(C)
+	Squared string  // "AA" or "AAT"
+}
+
+// Collect computes Table V style statistics. Square matrices use C = A·A;
+// rectangular ones use C = A·Aᵀ (the paper does the same for Rice-kmers and
+// Metaclust20m).
+func Collect(name string, a *spmat.CSC) Stats {
+	s := Stats{Name: name, Rows: a.Rows, Cols: a.Cols, NnzA: a.NNZ()}
+	b := a
+	s.Squared = "AA"
+	if a.Rows != a.Cols {
+		b = spmat.Transpose(a)
+		s.Squared = "AAT"
+	}
+	s.NnzC = localmm.SymbolicSpGEMM(a, b)
+	s.Flops = localmm.Flops(a, b)
+	if s.NnzC > 0 {
+		s.CF = float64(s.Flops) / float64(s.NnzC)
+	}
+	return s
+}
+
+// String renders one Table V row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-18s %9d %9d %12d %12d %14d %6.2f",
+		s.Name, s.Rows, s.Cols, s.NnzA, s.NnzC, s.Flops, s.CF)
+}
+
+// StatsHeader is the column header matching String.
+func StatsHeader() string {
+	return fmt.Sprintf("%-18s %9s %9s %12s %12s %14s %6s",
+		"Matrix", "rows", "cols", "nnz(A)", "nnz(C)", "flops", "cf")
+}

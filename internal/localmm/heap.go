@@ -1,0 +1,126 @@
+package localmm
+
+import (
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+// heapEntry tracks one contributing column of A during the multiway merge:
+// the current row index, which list (entry of B's column) it belongs to, and
+// the cursor into that A column.
+type heapEntry struct {
+	row  int32
+	list int32
+	ptr  int64
+}
+
+// rowHeap is a binary min-heap on row index. A hand-rolled heap avoids the
+// interface indirection of container/heap in this hot loop.
+type rowHeap []heapEntry
+
+func (h *rowHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].row <= (*h)[i].row {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *rowHeap) pop() heapEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].row < old[small].row {
+			small = l
+		}
+		if r < n && old[r].row < old[small].row {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// HeapSpGEMM multiplies A·B with the heap-based column kernel used by the
+// previous 3D SUMMA work [13]. It requires A to have sorted columns and
+// always produces sorted output columns — the sortedness the paper's new
+// kernels deliberately give up.
+func HeapSpGEMM(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
+	checkMulShapes(a, b)
+	if !a.SortedCols {
+		// The previous framework kept all matrices sorted; when handed an
+		// unsorted operand we must restore that invariant first, and the cost
+		// is charged to this kernel just as it would be in the original code.
+		a = a.Clone()
+		a.SortColumns()
+	}
+	c := &spmat.CSC{
+		Rows:       a.Rows,
+		Cols:       b.Cols,
+		ColPtr:     make([]int64, b.Cols+1),
+		SortedCols: true,
+	}
+	plusTimes := sr.IsPlusTimes()
+	var h rowHeap
+	for j := int32(0); j < b.Cols; j++ {
+		bRows, bVals := b.Column(j)
+		h = h[:0]
+		for li := range bRows {
+			i := bRows[li]
+			if a.ColNNZ(i) == 0 {
+				continue
+			}
+			start := a.ColPtr[i]
+			h.push(heapEntry{row: a.RowIdx[start], list: int32(li), ptr: start})
+		}
+		for len(h) > 0 {
+			e := h.pop()
+			row := e.row
+			var acc float64
+			first := true
+			for {
+				i := bRows[e.list]
+				var prod float64
+				if plusTimes {
+					prod = a.Val[e.ptr] * bVals[e.list]
+				} else {
+					prod = sr.Mul(a.Val[e.ptr], bVals[e.list])
+				}
+				if first {
+					acc, first = prod, false
+				} else if plusTimes {
+					acc += prod
+				} else {
+					acc = sr.Add(acc, prod)
+				}
+				// Advance this list's cursor.
+				if next := e.ptr + 1; next < a.ColPtr[i+1] {
+					h.push(heapEntry{row: a.RowIdx[next], list: e.list, ptr: next})
+				}
+				if len(h) == 0 || h[0].row != row {
+					break
+				}
+				e = h.pop()
+			}
+			c.RowIdx = append(c.RowIdx, row)
+			c.Val = append(c.Val, acc)
+		}
+		c.ColPtr[j+1] = int64(len(c.RowIdx))
+	}
+	return c
+}

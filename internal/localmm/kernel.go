@@ -1,0 +1,151 @@
+package localmm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+// Kernel selects the local multiply implementation used inside a SUMMA stage.
+type Kernel int
+
+const (
+	// KernelHashUnsorted is the paper's new sort-free hash kernel.
+	KernelHashUnsorted Kernel = iota
+	// KernelHashSorted is the hash kernel with per-column output sorting.
+	KernelHashSorted
+	// KernelHeap is the previous heap-based kernel [13]; output sorted.
+	KernelHeap
+	// KernelHybrid is the previous hybrid heap/hash kernel [25]; output sorted.
+	KernelHybrid
+)
+
+// String names the kernel for reports.
+func (k Kernel) String() string {
+	switch k {
+	case KernelHashUnsorted:
+		return "unsorted-hash"
+	case KernelHashSorted:
+		return "sorted-hash"
+	case KernelHeap:
+		return "heap"
+	case KernelHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Func returns the kernel implementation.
+func (k Kernel) Func() func(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
+	switch k {
+	case KernelHashUnsorted:
+		return HashSpGEMM
+	case KernelHashSorted:
+		return HashSpGEMMSorted
+	case KernelHeap:
+		return HeapSpGEMM
+	case KernelHybrid:
+		return HybridSpGEMM
+	default:
+		panic("localmm: unknown kernel " + k.String())
+	}
+}
+
+// Merger selects the merging implementation used by Merge-Layer and
+// Merge-Fiber.
+type Merger int
+
+const (
+	// MergerHash is the paper's new sort-free hash merge.
+	MergerHash Merger = iota
+	// MergerHeap is the previous heap merge [13] (always sorted output).
+	MergerHeap
+)
+
+// String names the merger for reports.
+func (m Merger) String() string {
+	switch m {
+	case MergerHash:
+		return "hash-merge"
+	case MergerHeap:
+		return "heap-merge"
+	default:
+		return fmt.Sprintf("Merger(%d)", int(m))
+	}
+}
+
+// Merge runs the selected merging algorithm. sortOutput only affects
+// MergerHash; the heap merge always emits sorted columns.
+func (m Merger) Merge(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool) *spmat.CSC {
+	switch m {
+	case MergerHash:
+		return HashMerge(mats, sr, sortOutput)
+	case MergerHeap:
+		return HeapMerge(mats, sr)
+	default:
+		panic("localmm: unknown merger " + m.String())
+	}
+}
+
+// Multiply is the serial reference SpGEMM used to verify distributed results:
+// hash kernel with sorted output.
+func Multiply(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
+	return HashSpGEMMSorted(a, b, sr)
+}
+
+// ParallelSpGEMM runs the given kernel with threads workers, each computing a
+// contiguous block of B's columns, and concatenates the partial results. It
+// models the paper's "multithreaded local multiplication" (16 threads per MPI
+// process on Cori-KNL).
+func ParallelSpGEMM(k Kernel, a, b *spmat.CSC, sr *semiring.Semiring, threads int) *spmat.CSC {
+	if threads <= 1 || b.Cols < 2 {
+		return k.Func()(a, b, sr)
+	}
+	if int32(threads) > b.Cols {
+		threads = int(b.Cols)
+	}
+	bounds := spmat.PartBounds(b.Cols, threads)
+	parts := make([]*spmat.CSC, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sub := spmat.ColRange(b, bounds[t], bounds[t+1])
+			parts[t] = k.Func()(a, sub, sr)
+		}(t)
+	}
+	wg.Wait()
+	return spmat.HCat(parts)
+}
+
+// ParallelMerge runs the selected merger with threads workers over contiguous
+// column blocks.
+func ParallelMerge(mg Merger, mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool, threads int) *spmat.CSC {
+	_, cols := checkMergeShapes(mats)
+	if threads <= 1 || cols < 2 {
+		return mg.Merge(mats, sr, sortOutput)
+	}
+	if int32(threads) > cols {
+		threads = int(cols)
+	}
+	bounds := spmat.PartBounds(cols, threads)
+	parts := make([]*spmat.CSC, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			subs := make([]*spmat.CSC, len(mats))
+			for i, m := range mats {
+				subs[i] = spmat.ColRange(m, bounds[t], bounds[t+1])
+			}
+			parts[t] = mg.Merge(subs, sr, sortOutput)
+		}(t)
+	}
+	wg.Wait()
+	return spmat.HCat(parts)
+}

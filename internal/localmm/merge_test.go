@@ -1,0 +1,167 @@
+package localmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+// sumAll is the reference entry-wise sum of a list of matrices.
+func sumAll(mats []*spmat.CSC) *spmat.CSC {
+	out := mats[0]
+	for _, m := range mats[1:] {
+		out = spmat.Add(out, m, nil)
+	}
+	return out
+}
+
+func TestMergersMatchReference(t *testing.T) {
+	sr := semiring.PlusTimes()
+	mats := []*spmat.CSC{
+		randomMat(t, 25, 20, 80, 11),
+		randomMat(t, 25, 20, 90, 12),
+		randomMat(t, 25, 20, 70, 13),
+	}
+	want := sumAll(mats)
+	if got := HashMerge(mats, sr, true); !spmat.Equal(got, want) {
+		t.Error("hash merge wrong")
+	}
+	if got := HeapMerge(mats, sr); !spmat.Equal(got, want) {
+		t.Error("heap merge wrong")
+	}
+}
+
+func TestHashMergeUnsortedFlag(t *testing.T) {
+	sr := semiring.PlusTimes()
+	mats := []*spmat.CSC{randomMat(t, 10, 10, 30, 14), randomMat(t, 10, 10, 30, 15)}
+	if got := HashMerge(mats, sr, false); got.SortedCols {
+		t.Error("unsorted hash merge should report unsorted")
+	}
+	got := HashMerge(mats, sr, true)
+	if !got.SortedCols {
+		t.Error("sorted hash merge should report sorted")
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeUnsortedInputs(t *testing.T) {
+	sr := semiring.PlusTimes()
+	a := randomMat(t, 30, 30, 150, 16)
+	b := randomMat(t, 30, 30, 150, 17)
+	// Produce genuinely unsorted operands through the unsorted-hash kernel.
+	ua := HashSpGEMM(a, b, sr)
+	ub := HashSpGEMM(b, a, sr)
+	want := sumAll([]*spmat.CSC{ua, ub})
+	if got := HashMerge([]*spmat.CSC{ua, ub}, sr, true); !spmat.Equal(got, want) {
+		t.Error("hash merge of unsorted inputs wrong")
+	}
+	if got := HeapMerge([]*spmat.CSC{ua, ub}, sr); !spmat.Equal(got, want) {
+		t.Error("heap merge of unsorted inputs wrong")
+	}
+}
+
+func TestMergeSingleMatrix(t *testing.T) {
+	sr := semiring.PlusTimes()
+	m := HashSpGEMM(randomMat(t, 15, 15, 60, 18), randomMat(t, 15, 15, 60, 19), sr)
+	got := HashMerge([]*spmat.CSC{m}, sr, true)
+	if !spmat.Equal(got, m) {
+		t.Error("merge of one matrix should be identity")
+	}
+	if !got.SortedCols {
+		t.Error("requested sorted output")
+	}
+}
+
+func TestMergeEmptyMatrices(t *testing.T) {
+	sr := semiring.PlusTimes()
+	mats := []*spmat.CSC{spmat.New(5, 5), spmat.New(5, 5)}
+	for _, mg := range []Merger{MergerHash, MergerHeap} {
+		got := mg.Merge(mats, sr, true)
+		if got.NNZ() != 0 {
+			t.Errorf("%v: merge of empties has %d nnz", mg, got.NNZ())
+		}
+	}
+}
+
+func TestMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	HashMerge([]*spmat.CSC{spmat.New(3, 3), spmat.New(3, 4)}, semiring.PlusTimes(), false)
+}
+
+func TestMergeDeduplicates(t *testing.T) {
+	// Matrices with internal duplicate coordinates (as stage outputs can
+	// have when concatenated) must still merge correctly.
+	dup := &spmat.CSC{
+		Rows: 3, Cols: 1,
+		ColPtr:     []int64{0, 3},
+		RowIdx:     []int32{1, 1, 0},
+		Val:        []float64{2, 3, 1},
+		SortedCols: false,
+	}
+	other, _ := spmat.FromTriples(3, 1, []spmat.Triple{{Row: 1, Col: 0, Val: 4}}, nil)
+	sr := semiring.PlusTimes()
+	for _, mg := range []Merger{MergerHash, MergerHeap} {
+		got := mg.Merge([]*spmat.CSC{dup, other}, sr, true)
+		if got.At(1, 0) != 9 || got.At(0, 0) != 1 {
+			t.Errorf("%v: duplicates mishandled: (1,0)=%v (0,0)=%v", mg, got.At(1, 0), got.At(0, 0))
+		}
+		if got.NNZ() != 2 {
+			t.Errorf("%v: nnz=%d, want 2", mg, got.NNZ())
+		}
+	}
+}
+
+func TestMergersAgreeProperty(t *testing.T) {
+	sr := semiring.PlusTimes()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int32(rng.Intn(20) + 1)
+		cols := int32(rng.Intn(20) + 1)
+		k := rng.Intn(4) + 1
+		mats := make([]*spmat.CSC, k)
+		for i := range mats {
+			mats[i] = randomMat(t, rows, cols, rng.Intn(60), seed+int64(i)+1)
+		}
+		return spmat.Equal(HashMerge(mats, sr, true), HeapMerge(mats, sr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelMergeMatchesSerial(t *testing.T) {
+	sr := semiring.PlusTimes()
+	mats := []*spmat.CSC{
+		randomMat(t, 40, 35, 200, 20),
+		randomMat(t, 40, 35, 200, 21),
+		randomMat(t, 40, 35, 200, 22),
+	}
+	want := HashMerge(mats, sr, true)
+	for _, threads := range []int{2, 5, 64} {
+		got := ParallelMerge(MergerHash, mats, sr, true, threads)
+		if !spmat.Equal(got, want) {
+			t.Errorf("threads=%d: parallel merge differs", threads)
+		}
+	}
+}
+
+func TestMergeMinPlus(t *testing.T) {
+	sr := semiring.MinPlus()
+	a, _ := spmat.FromTriples(2, 1, []spmat.Triple{{Row: 0, Col: 0, Val: 5}}, nil)
+	b, _ := spmat.FromTriples(2, 1, []spmat.Triple{{Row: 0, Col: 0, Val: 3}, {Row: 1, Col: 0, Val: 7}}, nil)
+	for _, mg := range []Merger{MergerHash, MergerHeap} {
+		got := mg.Merge([]*spmat.CSC{a, b}, sr, true)
+		if got.At(0, 0) != 3 || got.At(1, 0) != 7 {
+			t.Errorf("%v: min-plus merge wrong: %v %v", mg, got.At(0, 0), got.At(1, 0))
+		}
+	}
+}

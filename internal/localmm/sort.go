@@ -1,0 +1,28 @@
+package localmm
+
+import "sort"
+
+// sortColumnSlices sorts the parallel (rows, vals) slices of one column by
+// ascending row index.
+func sortColumnSlices(rows []int32, vals []float64) {
+	if len(rows) < 2 {
+		return
+	}
+	s := pairSorter{rows: rows, vals: vals}
+	if sort.IsSorted(s) {
+		return
+	}
+	sort.Sort(s)
+}
+
+type pairSorter struct {
+	rows []int32
+	vals []float64
+}
+
+func (s pairSorter) Len() int           { return len(s.rows) }
+func (s pairSorter) Less(i, j int) bool { return s.rows[i] < s.rows[j] }
+func (s pairSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

@@ -1,0 +1,159 @@
+package localmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+func TestFlopsSmall(t *testing.T) {
+	// A has columns with 2 and 1 nonzeros; B selects them.
+	a := spmat.Dense(3, 2, []float64{1, 0, 1, 1, 0, 0})
+	b := spmat.Dense(2, 2, []float64{1, 1, 1, 0})
+	// Column 0 of B uses A cols {0,1}: 2+1 = 3 flops; column 1 uses {0}: 2.
+	if got := Flops(a, b); got != 5 {
+		t.Errorf("Flops=%d, want 5", got)
+	}
+	cf := ColFlops(a, b)
+	if cf[0] != 3 || cf[1] != 2 {
+		t.Errorf("ColFlops=%v, want [3 2]", cf)
+	}
+}
+
+func TestSymbolicMatchesActualNNZ(t *testing.T) {
+	a := randomMat(t, 40, 40, 250, 30)
+	b := randomMat(t, 40, 40, 250, 31)
+	c := Multiply(a, b, semiring.PlusTimes())
+	// Structural nnz: the hash kernel stores every structurally reachable
+	// entry (exact zeros from cancellation are still stored).
+	if got, want := SymbolicSpGEMM(a, b), c.NNZ(); got != want {
+		t.Errorf("SymbolicSpGEMM=%d, actual nnz=%d", got, want)
+	}
+	cols := SymbolicColNNZ(a, b)
+	var total int64
+	for j := int32(0); j < c.Cols; j++ {
+		if cols[j] != c.ColNNZ(j) {
+			t.Errorf("column %d: symbolic %d actual %d", j, cols[j], c.ColNNZ(j))
+		}
+		total += cols[j]
+	}
+	if total != c.NNZ() {
+		t.Errorf("per-column sum %d != total %d", total, c.NNZ())
+	}
+}
+
+func TestCompressionFactorAtLeastOne(t *testing.T) {
+	a := randomMat(t, 50, 50, 400, 32)
+	cf := CompressionFactor(a, a)
+	if cf < 1 {
+		t.Errorf("cf=%v < 1", cf)
+	}
+}
+
+func TestCompressionFactorEmpty(t *testing.T) {
+	if cf := CompressionFactor(spmat.New(5, 5), spmat.New(5, 5)); cf != 0 {
+		t.Errorf("cf of empty product = %v, want 0", cf)
+	}
+}
+
+func TestFlopsVsSymbolicProperty(t *testing.T) {
+	// flops ≥ nnz(C) always (each output nonzero needs ≥1 multiplication).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(rng.Intn(30) + 1)
+		a := randomMat(t, n, n, rng.Intn(120), seed+1)
+		b := randomMat(t, n, n, rng.Intn(120), seed+2)
+		return Flops(a, b) >= SymbolicSpGEMM(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolicIdentityProduct(t *testing.T) {
+	m := randomMat(t, 30, 30, 100, 33)
+	id := spmat.Identity(30)
+	if got := SymbolicSpGEMM(m, id); got != m.NNZ() {
+		t.Errorf("nnz(M·I) symbolic = %d, want %d", got, m.NNZ())
+	}
+	if got := Flops(m, id); got != m.NNZ() {
+		t.Errorf("flops(M·I) = %d, want %d", got, m.NNZ())
+	}
+}
+
+func TestRowSetGrowth(t *testing.T) {
+	s := newRowSet(2)
+	for r := int32(0); r < 1000; r++ {
+		s.insert(r)
+		s.insert(r) // duplicate inserts must be idempotent
+	}
+	if len(s.occupied) != 1000 {
+		t.Errorf("set has %d elements, want 1000", len(s.occupied))
+	}
+}
+
+func TestHashAccumGrowth(t *testing.T) {
+	h := newHashAccum(2)
+	for r := int32(0); r < 500; r++ {
+		h.addPlus(r%100, 1) // 100 distinct keys, 5 inserts each
+	}
+	if len(h.occupied) != 100 {
+		t.Fatalf("accumulator has %d keys, want 100", len(h.occupied))
+	}
+	rows, vals := h.drainInto(nil, nil)
+	for i := range rows {
+		if vals[i] != 5 {
+			t.Errorf("row %d accumulated %v, want 5", rows[i], vals[i])
+		}
+	}
+}
+
+func TestHashAccumReset(t *testing.T) {
+	h := newHashAccum(10)
+	h.addPlus(3, 1)
+	h.addPlus(7, 2)
+	h.reset()
+	if len(h.occupied) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.addPlus(3, 5)
+	rows, vals := h.drainInto(nil, nil)
+	if len(rows) != 1 || vals[0] != 5 {
+		t.Errorf("stale state after reset: %v %v", rows, vals)
+	}
+}
+
+func TestSymbolicStampMatchesHashFallback(t *testing.T) {
+	a := randomMat(t, 60, 60, 400, 34)
+	b := randomMat(t, 60, 60, 350, 35)
+	if got, want := SymbolicSpGEMM(a, b), symbolicHashed(a, b); got != want {
+		t.Errorf("stamp kernel %d, hash kernel %d", got, want)
+	}
+}
+
+func TestSymbolicEmptyColumns(t *testing.T) {
+	a := randomMat(t, 20, 20, 50, 36)
+	b := spmat.New(20, 7)
+	if got := SymbolicSpGEMM(a, b); got != 0 {
+		t.Errorf("empty B: nnz=%d", got)
+	}
+}
+
+func BenchmarkSymbolicStamp(b *testing.B) {
+	a := randomMat(b, 2048, 2048, 40000, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymbolicSpGEMM(a, a)
+	}
+}
+
+func BenchmarkSymbolicHashSet(b *testing.B) {
+	a := randomMat(b, 2048, 2048, 40000, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		symbolicHashed(a, a)
+	}
+}

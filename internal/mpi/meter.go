@@ -1,0 +1,291 @@
+package mpi
+
+import (
+	"sort"
+	"time"
+)
+
+// computeGate serializes timed kernel execution across all ranks. Without
+// it, hundreds of goroutine ranks time-share a few host cores and every
+// measured kernel time is inflated by scheduler contention, which would
+// destroy the strong-scaling shapes (per-rank compute must shrink as p
+// grows). Capacity is deliberately 1, not NumCPU: while one rank computes,
+// every other rank is parked (in a barrier or on this gate), so the token
+// holder is effectively alone on the machine and its wall time is clean.
+// Queue wait is excluded from the measured time. The per-thread CPU clock
+// would be the ideal measurement, but its resolution is the scheduler tick
+// (10 ms on typical VMs) — far too coarse for microsecond kernels.
+var computeGate = make(chan struct{}, 1)
+
+// MeasureCompute runs fn while holding the compute token and returns fn's
+// wall time (excluding the wait for the token). fn must not perform
+// collectives: a rank blocked in a barrier while holding the token would
+// starve the ranks it is waiting for.
+func MeasureCompute(fn func()) float64 {
+	computeGate <- struct{}{}
+	defer func() { <-computeGate }()
+	t0 := time.Now()
+	fn()
+	return time.Since(t0).Seconds()
+}
+
+// Meter accumulates, per rank, the communication volume and modeled time of
+// collectives plus measured local-compute time, broken down by caller-chosen
+// category (the paper's step names: "A-Broadcast", "Local-Multiply", ...).
+// A Meter belongs to one rank's goroutine and is not thread-safe.
+type Meter struct {
+	cat   string
+	stats map[string]*StepStats
+}
+
+// StepStats is the per-category accumulation.
+type StepStats struct {
+	// Messages and Bytes count the collectives this rank participated in and
+	// the payload bytes attributed to it.
+	Messages int64
+	Bytes    int64
+	// CommSeconds is the α–β modeled communication time.
+	CommSeconds float64
+	// ComputeSeconds is measured wall time of local computation.
+	ComputeSeconds float64
+	// WorkUnits counts the abstract work (flops for multiplies, nonzeros
+	// for merges) behind ComputeSeconds. Summarize uses it to smooth
+	// per-rank times: individual wall measurements of microsecond kernels
+	// carry scheduler/GC outliers, so the aggregated per-rank compute time
+	// is work × (globally measured seconds-per-work), which preserves real
+	// load imbalance while suppressing measurement noise.
+	WorkUnits int64
+}
+
+// Total returns modeled comm plus measured compute seconds.
+func (s *StepStats) Total() float64 { return s.CommSeconds + s.ComputeSeconds }
+
+func (s *StepStats) add(o *StepStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.CommSeconds += o.CommSeconds
+	s.ComputeSeconds += o.ComputeSeconds
+}
+
+// NewMeter returns an empty meter with the category set to "default".
+func NewMeter() *Meter {
+	return &Meter{cat: "default", stats: make(map[string]*StepStats)}
+}
+
+// SetCategory directs subsequent charges to the named step.
+func (m *Meter) SetCategory(cat string) { m.cat = cat }
+
+// Category returns the current step name.
+func (m *Meter) Category() string { return m.cat }
+
+func (m *Meter) get(cat string) *StepStats {
+	s, ok := m.stats[cat]
+	if !ok {
+		s = &StepStats{}
+		m.stats[cat] = s
+	}
+	return s
+}
+
+func (m *Meter) addComm(msgs, bytes int64, seconds float64) {
+	s := m.get(m.cat)
+	s.Messages += msgs
+	s.Bytes += bytes
+	s.CommSeconds += seconds
+}
+
+// AddCompute charges measured compute seconds to the current category.
+func (m *Meter) AddCompute(seconds float64) {
+	m.get(m.cat).ComputeSeconds += seconds
+}
+
+// AddComputeWork charges measured compute seconds together with the abstract
+// work units behind them (see StepStats.WorkUnits).
+func (m *Meter) AddComputeWork(seconds float64, work int64) {
+	s := m.get(m.cat)
+	s.ComputeSeconds += seconds
+	s.WorkUnits += work
+}
+
+// AddCommSeconds charges extra modeled communication time to the current
+// category (used for machine-model adjustments such as hyper-threading).
+func (m *Meter) AddCommSeconds(seconds float64) {
+	m.get(m.cat).CommSeconds += seconds
+}
+
+// Timed runs fn, charging its wall time as compute to the current category.
+func (m *Meter) Timed(fn func()) {
+	t0 := time.Now()
+	fn()
+	m.AddCompute(time.Since(t0).Seconds())
+}
+
+// Step returns the stats accumulated for one category (zero stats if never
+// charged).
+func (m *Meter) Step(cat string) StepStats {
+	if s, ok := m.stats[cat]; ok {
+		return *s
+	}
+	return StepStats{}
+}
+
+// Categories returns the step names charged so far, sorted.
+func (m *Meter) Categories() []string {
+	out := make([]string, 0, len(m.stats))
+	for k := range m.stats {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalSeconds returns this rank's critical-path contribution: the sum over
+// all categories of modeled comm plus measured compute.
+func (m *Meter) TotalSeconds() float64 {
+	var t float64
+	for _, s := range m.stats {
+		t += s.Total()
+	}
+	return t
+}
+
+// Scale multiplies every accumulated time (comm and compute) by f. Used by
+// machine models that translate host-measured compute into target-machine
+// compute.
+func (m *Meter) Scale(f float64) {
+	for _, s := range m.stats {
+		s.CommSeconds *= f
+		s.ComputeSeconds *= f
+	}
+}
+
+// ScaleCompute multiplies only measured compute times by f.
+func (m *Meter) ScaleCompute(f float64) {
+	for _, s := range m.stats {
+		s.ComputeSeconds *= f
+	}
+}
+
+// ScaleComm multiplies only modeled communication times by f.
+func (m *Meter) ScaleComm(f float64) {
+	for _, s := range m.stats {
+		s.CommSeconds *= f
+	}
+}
+
+// Summary aggregates the meters of all ranks into the numbers the paper
+// plots: per step, the maximum over ranks (critical path) of comm and compute
+// time, and the total bytes moved.
+type Summary struct {
+	// Steps maps category → aggregated stats where times are max-over-ranks
+	// and Bytes/Messages are summed over ranks.
+	Steps map[string]*StepStats
+	// CriticalPathSeconds is max over ranks of the per-rank total.
+	CriticalPathSeconds float64
+	// Ranks is the number of meters aggregated.
+	Ranks int
+}
+
+// Summarize combines per-rank meters into a Summary.
+//
+// Compute smoothing: for every category that carries work units, the
+// measured rate is computed globally (Σ seconds / Σ work over all ranks, so
+// per-call scheduler and GC outliers amortize away) and each rank's compute
+// time is re-attributed as its own work × that rate. The per-step maximum
+// then reflects genuine load imbalance rather than which rank happened to be
+// preempted. Categories without work units use raw measured maxima.
+func Summarize(meters []*Meter) *Summary {
+	sum := &Summary{Steps: make(map[string]*StepStats), Ranks: len(meters)}
+	// Pass 1: global totals per category.
+	type totals struct {
+		sec  float64
+		work int64
+	}
+	global := map[string]*totals{}
+	for _, m := range meters {
+		for cat, s := range m.stats {
+			g, ok := global[cat]
+			if !ok {
+				g = &totals{}
+				global[cat] = g
+			}
+			g.sec += s.ComputeSeconds
+			g.work += s.WorkUnits
+		}
+	}
+	smoothed := func(cat string, s *StepStats) float64 {
+		g := global[cat]
+		if g.work <= 0 || s.WorkUnits <= 0 {
+			return s.ComputeSeconds
+		}
+		return float64(s.WorkUnits) * g.sec / float64(g.work)
+	}
+	// Pass 2: aggregate with smoothing.
+	for _, m := range meters {
+		var rankTotal float64
+		for cat, s := range m.stats {
+			agg, ok := sum.Steps[cat]
+			if !ok {
+				agg = &StepStats{}
+				sum.Steps[cat] = agg
+			}
+			agg.Messages += s.Messages
+			agg.Bytes += s.Bytes
+			agg.WorkUnits += s.WorkUnits
+			if s.CommSeconds > agg.CommSeconds {
+				agg.CommSeconds = s.CommSeconds
+			}
+			sc := smoothed(cat, s)
+			if sc > agg.ComputeSeconds {
+				agg.ComputeSeconds = sc
+			}
+			rankTotal += s.CommSeconds + sc
+		}
+		if rankTotal > sum.CriticalPathSeconds {
+			sum.CriticalPathSeconds = rankTotal
+		}
+	}
+	return sum
+}
+
+// Step returns the aggregated stats for one category.
+func (s *Summary) Step(cat string) StepStats {
+	if st, ok := s.Steps[cat]; ok {
+		return *st
+	}
+	return StepStats{}
+}
+
+// Categories returns the aggregated step names, sorted.
+func (s *Summary) Categories() []string {
+	out := make([]string, 0, len(s.Steps))
+	for k := range s.Steps {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalCommSeconds sums the per-step max comm times.
+func (s *Summary) TotalCommSeconds() float64 {
+	var t float64
+	for _, st := range s.Steps {
+		t += st.CommSeconds
+	}
+	return t
+}
+
+// TotalComputeSeconds sums the per-step max compute times.
+func (s *Summary) TotalComputeSeconds() float64 {
+	var t float64
+	for _, st := range s.Steps {
+		t += st.ComputeSeconds
+	}
+	return t
+}
+
+// TotalSeconds sums per-step totals (the height of one stacked bar in the
+// paper's figures).
+func (s *Summary) TotalSeconds() float64 {
+	return s.TotalCommSeconds() + s.TotalComputeSeconds()
+}

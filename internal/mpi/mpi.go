@@ -1,0 +1,404 @@
+// Package mpi is an in-process stand-in for the message-passing runtime the
+// paper runs on. Every rank is a goroutine; communicators support the
+// collectives the SUMMA algorithms need (Barrier, Bcast, Allgather,
+// AllToAllv, Allreduce) plus MPI_Comm_split-style sub-communicators for
+// process rows, columns, layers, and fibers.
+//
+// Data really moves between ranks (receivers observe the sender's payload),
+// so the distributed algorithms are exercised end to end. Because the
+// transport is shared memory, the wall-clock of a collective is meaningless
+// for the paper's scale; instead every collective *meters* itself: it records
+// the bytes on the wire and charges an α–β modeled time (latency/bandwidth
+// constants supplied by the caller) to each participating rank. The paper's
+// own communication analysis (Table II) is in the same α–β model.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Payload is anything that knows its wire size; matrices implement it via
+// CommBytes. Payload contents are shared between sender and receivers, so
+// receivers must treat them as read-only or clone.
+type Payload interface {
+	CommBytes() int64
+}
+
+// Bytes adapts a raw byte count to Payload for non-matrix messages.
+type Bytes int64
+
+// CommBytes returns the wrapped size.
+func (b Bytes) CommBytes() int64 { return int64(b) }
+
+// CostModel supplies the α–β constants used to charge modeled time.
+type CostModel struct {
+	// AlphaSec is the per-message latency in seconds.
+	AlphaSec float64
+	// BetaSecPerByte is the inverse bandwidth in seconds per byte.
+	BetaSecPerByte float64
+}
+
+// lg2 returns ceil(log2(q)) for q ≥ 1.
+func lg2(q int) float64 {
+	n, v := 0, 1
+	for v < q {
+		v <<= 1
+		n++
+	}
+	return float64(n)
+}
+
+// BcastCost models a bandwidth-optimal broadcast of n bytes among q ranks:
+// α·lg q latency plus β·n bandwidth, the form used in the paper's Table II.
+func (cm CostModel) BcastCost(q int, n int64) float64 {
+	if q <= 1 {
+		return 0
+	}
+	return cm.AlphaSec*lg2(q) + cm.BetaSecPerByte*float64(n)
+}
+
+// AllToAllCost models a personalized all-to-all among q ranks where the
+// calling rank sends n bytes in total: α·(q−1) + β·n.
+func (cm CostModel) AllToAllCost(q int, n int64) float64 {
+	if q <= 1 {
+		return 0
+	}
+	return cm.AlphaSec*float64(q-1) + cm.BetaSecPerByte*float64(n)
+}
+
+// AllreduceCost models an allreduce of n bytes among q ranks.
+func (cm CostModel) AllreduceCost(q int, n int64) float64 {
+	if q <= 1 {
+		return 0
+	}
+	return cm.AlphaSec*lg2(q) + cm.BetaSecPerByte*float64(n)*lg2(q)
+}
+
+// barrier is a reusable (cyclic) barrier with failure propagation: when any
+// rank panics, waiting ranks are woken and panic too instead of deadlocking.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	failed bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed {
+		panic(errAborted)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.failed {
+		b.cond.Wait()
+	}
+	if b.failed {
+		panic(errAborted)
+	}
+}
+
+func (b *barrier) fail() {
+	b.mu.Lock()
+	b.failed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// errAborted is the sentinel re-panicked on ranks that were waiting when a
+// peer failed; Run filters it out so the original failure surfaces.
+var errAborted = fmt.Errorf("mpi: aborted because another rank failed")
+
+// commCore is the state shared by all ranks of one communicator.
+type commCore struct {
+	size  int
+	bar   *barrier
+	slots []any // one per rank: Bcast/Allgather/Split staging
+	// matrix is the size×size AllToAllv staging area, row-major
+	// [src*size+dst]. It is allocated lazily (matrixOnce) because large
+	// world communicators never perform an AllToAll — only the small fiber
+	// communicators do — and an eager p² allocation would dominate memory
+	// at high simulated rank counts.
+	matrix     []any
+	matrixOnce sync.Once
+	i64buf     []int64
+	f64buf     []float64
+	childMu    sync.Mutex
+	childs     map[splitKey]*commCore
+}
+
+type splitKey struct {
+	gen   uint64
+	color int
+}
+
+func newCommCore(size int) *commCore {
+	return &commCore{
+		size:   size,
+		bar:    newBarrier(size),
+		slots:  make([]any, size),
+		i64buf: make([]int64, size),
+		f64buf: make([]float64, size),
+		childs: make(map[splitKey]*commCore),
+	}
+}
+
+// ensureMatrix allocates the AllToAllv staging area on first use. All ranks
+// reach AllToAllv collectively, and sync.Once publishes the slice safely.
+func (c *commCore) ensureMatrix() {
+	c.matrixOnce.Do(func() {
+		c.matrix = make([]any, c.size*c.size)
+	})
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	rank  int
+	size  int
+	core  *commCore
+	cost  CostModel
+	meter *Meter
+	// splitGen counts Split calls so concurrent epochs of the deterministic
+	// child-core map never collide. All ranks call Split in the same order,
+	// so their counters agree.
+	splitGen uint64
+}
+
+// Rank returns this rank's id within the communicator (0-based).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Meter returns the per-rank meter charged by every collective.
+func (c *Comm) Meter() *Meter { return c.meter }
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() { c.core.bar.await() }
+
+// Bcast broadcasts root's payload to every rank and returns it. All ranks
+// (including root) receive the same object; treat it as read-only. The
+// modeled cost α·lg(size) + β·bytes is charged to every rank.
+func (c *Comm) Bcast(root int, msg Payload) Payload {
+	if root < 0 || root >= c.size {
+		panic(fmt.Sprintf("mpi: Bcast root %d out of range [0,%d)", root, c.size))
+	}
+	if c.rank == root {
+		c.core.slots[root] = msg
+	}
+	c.Barrier()
+	out := c.core.slots[root].(Payload)
+	c.Barrier()
+	var n int64
+	if out != nil {
+		n = out.CommBytes()
+	}
+	c.meter.addComm(1, n, c.cost.BcastCost(c.size, n))
+	return out
+}
+
+// Allgather collects one payload from every rank; the result is indexed by
+// rank and shared by all ranks (read-only).
+func (c *Comm) Allgather(msg Payload) []Payload {
+	c.core.slots[c.rank] = msg
+	c.Barrier()
+	out := make([]Payload, c.size)
+	var total int64
+	for i := range out {
+		out[i] = c.core.slots[i].(Payload)
+		if out[i] != nil {
+			total += out[i].CommBytes()
+		}
+	}
+	c.Barrier()
+	// Model as a bandwidth-optimal allgather: α·lg q + β·(total received).
+	c.meter.addComm(1, total, c.cost.AllreduceCost(c.size, 0)+c.cost.BetaSecPerByte*float64(total))
+	return out
+}
+
+// AllToAllv performs a personalized exchange: send[i] goes to rank i, and the
+// returned slice holds what every rank sent to this rank (indexed by source).
+func (c *Comm) AllToAllv(send []Payload) []Payload {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("mpi: AllToAllv got %d payloads for %d ranks", len(send), c.size))
+	}
+	c.core.ensureMatrix()
+	base := c.rank * c.size
+	for dst, m := range send {
+		c.core.matrix[base+dst] = m
+	}
+	c.Barrier()
+	recv := make([]Payload, c.size)
+	for src := 0; src < c.size; src++ {
+		v := c.core.matrix[src*c.size+c.rank]
+		if v != nil {
+			recv[src] = v.(Payload)
+		}
+	}
+	c.Barrier()
+	var sent int64
+	for dst, m := range send {
+		if m != nil && dst != c.rank {
+			sent += m.CommBytes()
+		}
+	}
+	c.meter.addComm(1, sent, c.cost.AllToAllCost(c.size, sent))
+	return recv
+}
+
+// ReduceOp is a binary reduction operator.
+type ReduceOp int
+
+// Reduction operators for Allreduce.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllreduceInt64 reduces one int64 per rank with op and returns the result on
+// every rank.
+func (c *Comm) AllreduceInt64(v int64, op ReduceOp) int64 {
+	c.core.i64buf[c.rank] = v
+	c.Barrier()
+	out := c.core.i64buf[0]
+	for _, x := range c.core.i64buf[1:c.size] {
+		switch op {
+		case OpSum:
+			out += x
+		case OpMax:
+			if x > out {
+				out = x
+			}
+		case OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	c.Barrier()
+	c.meter.addComm(1, 8, c.cost.AllreduceCost(c.size, 8))
+	return out
+}
+
+// AllreduceFloat64 reduces one float64 per rank with op.
+func (c *Comm) AllreduceFloat64(v float64, op ReduceOp) float64 {
+	c.core.f64buf[c.rank] = v
+	c.Barrier()
+	out := c.core.f64buf[0]
+	for _, x := range c.core.f64buf[1:c.size] {
+		switch op {
+		case OpSum:
+			out += x
+		case OpMax:
+			if x > out {
+				out = x
+			}
+		case OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	c.Barrier()
+	c.meter.addComm(1, 8, c.cost.AllreduceCost(c.size, 8))
+	return out
+}
+
+// Split partitions the communicator like MPI_Comm_split: ranks passing the
+// same color form a new communicator, ordered by (key, parent rank). Every
+// rank must call Split. The child shares this rank's meter and cost model.
+func (c *Comm) Split(color, key int) *Comm {
+	gen := c.splitGen
+	c.splitGen++
+	// Stage everyone's (color, key) in the Bcast slots; collectives are
+	// bulk-synchronous, so no other use of slots can be in flight.
+	c.core.slots[c.rank] = [2]int{color, key}
+	c.Barrier()
+	type member struct{ rank, key int }
+	var members []member
+	for r := 0; r < c.size; r++ {
+		ck := c.core.slots[r].([2]int)
+		if ck[0] == color {
+			members = append(members, member{rank: r, key: ck[1]})
+		}
+	}
+	// Deterministic ordering by (key, rank).
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j].key < members[j-1].key ||
+			(members[j].key == members[j-1].key && members[j].rank < members[j-1].rank)); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	myIdx := -1
+	for i, m := range members {
+		if m.rank == c.rank {
+			myIdx = i
+		}
+	}
+	k := splitKey{gen: gen, color: color}
+	c.core.childMu.Lock()
+	core, ok := c.core.childs[k]
+	if !ok {
+		core = newCommCore(len(members))
+		c.core.childs[k] = core
+	}
+	c.core.childMu.Unlock()
+	c.Barrier() // staging area reusable afterwards
+	return &Comm{rank: myIdx, size: len(members), core: core, cost: c.cost, meter: c.meter}
+}
+
+// Run executes fn on p ranks of a fresh world communicator sharing the given
+// cost model, and returns each rank's meter. If any rank panics, Run panics
+// with the first failure after all ranks have stopped.
+func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpi: Run with %d ranks", p))
+	}
+	core := newCommCore(p)
+	meters := make([]*Meter, p)
+	errs := make([]any, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		meters[r] = NewMeter()
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					errs[r] = e
+					core.bar.fail()
+				}
+			}()
+			fn(&Comm{rank: r, size: p, core: core, cost: cm, meter: meters[r]})
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil && e != errAborted {
+			panic(e)
+		}
+	}
+	for _, e := range errs {
+		if e != nil {
+			panic(e)
+		}
+	}
+	return meters
+}

@@ -1,0 +1,110 @@
+// Package semiring defines the algebraic structures over which SpGEMM
+// operates. The paper notes that the batched SUMMA algorithms apply to any
+// semiring because no Strassen-like identities are used; all local kernels in
+// this repository therefore take a *Semiring rather than hard-coding (+, ×).
+package semiring
+
+import "math"
+
+// Semiring is a commutative monoid (Add, Zero) paired with a multiplicative
+// operation (Mul, One). Zero must be the additive identity and an annihilator
+// for Mul in the intended algebra; kernels rely on Zero to initialize
+// accumulators.
+type Semiring struct {
+	// Name identifies the semiring in reports and error messages.
+	Name string
+	// Add combines two partial products destined for the same output entry.
+	Add func(a, b float64) float64
+	// Mul combines A(i,k) with B(k,j).
+	Mul func(a, b float64) float64
+	// Zero is the additive identity.
+	Zero float64
+	// One is the multiplicative identity.
+	One float64
+	// plusTimes marks the arithmetic semiring so kernels can use an inlined
+	// fast path instead of calling through function pointers.
+	plusTimes bool
+}
+
+// IsPlusTimes reports whether this is the ordinary arithmetic semiring,
+// letting kernels take the inlined fast path.
+func (s *Semiring) IsPlusTimes() bool { return s.plusTimes }
+
+// PlusTimes returns the ordinary arithmetic semiring (ℝ, +, ×).
+func PlusTimes() *Semiring {
+	return &Semiring{
+		Name:      "plus-times",
+		Add:       func(a, b float64) float64 { return a + b },
+		Mul:       func(a, b float64) float64 { return a * b },
+		Zero:      0,
+		One:       1,
+		plusTimes: true,
+	}
+}
+
+// MinPlus returns the tropical semiring (ℝ∪{+∞}, min, +), used for shortest
+// path style computations.
+func MinPlus() *Semiring {
+	return &Semiring{
+		Name: "min-plus",
+		Add:  math.Min,
+		Mul:  func(a, b float64) float64 { return a + b },
+		Zero: math.Inf(1),
+		One:  0,
+	}
+}
+
+// MaxMin returns the bottleneck semiring (ℝ∪{-∞}, max, min), used for
+// widest-path / reliability computations.
+func MaxMin() *Semiring {
+	return &Semiring{
+		Name: "max-min",
+		Add:  math.Max,
+		Mul:  math.Min,
+		Zero: math.Inf(-1),
+		One:  math.Inf(1),
+	}
+}
+
+// BoolOrAnd returns the Boolean semiring ({0,1}, ∨, ∧) encoded in float64,
+// used for reachability and structural products such as shared k-mer
+// detection.
+func BoolOrAnd() *Semiring {
+	toBool := func(a float64) bool { return a != 0 }
+	return &Semiring{
+		Name: "bool-or-and",
+		Add: func(a, b float64) float64 {
+			if toBool(a) || toBool(b) {
+				return 1
+			}
+			return 0
+		},
+		Mul: func(a, b float64) float64 {
+			if toBool(a) && toBool(b) {
+				return 1
+			}
+			return 0
+		},
+		Zero: 0,
+		One:  1,
+	}
+}
+
+// PlusPairs returns the counting semiring where every multiplication yields 1
+// and addition counts: the (i,j) output equals the number of k with
+// A(i,k)≠0 and B(k,j)≠0. BELLA-style overlap detection uses it to count
+// shared k-mers between sequence pairs.
+func PlusPairs() *Semiring {
+	return &Semiring{
+		Name: "plus-pairs",
+		Add:  func(a, b float64) float64 { return a + b },
+		Mul: func(a, b float64) float64 {
+			if a != 0 && b != 0 {
+				return 1
+			}
+			return 0
+		},
+		Zero: 0,
+		One:  1,
+	}
+}

@@ -1,0 +1,162 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlusTimesIdentities(t *testing.T) {
+	s := PlusTimes()
+	if !s.IsPlusTimes() {
+		t.Fatal("PlusTimes must report IsPlusTimes")
+	}
+	if got := s.Add(3, 4); got != 7 {
+		t.Errorf("Add(3,4)=%v, want 7", got)
+	}
+	if got := s.Mul(3, 4); got != 12 {
+		t.Errorf("Mul(3,4)=%v, want 12", got)
+	}
+	if s.Zero != 0 || s.One != 1 {
+		t.Errorf("identities: zero=%v one=%v", s.Zero, s.One)
+	}
+}
+
+func TestMinPlusIdentities(t *testing.T) {
+	s := MinPlus()
+	if got := s.Add(3, 4); got != 3 {
+		t.Errorf("Add(3,4)=%v, want 3", got)
+	}
+	if got := s.Mul(3, 4); got != 7 {
+		t.Errorf("Mul(3,4)=%v, want 7", got)
+	}
+	if !math.IsInf(s.Zero, 1) {
+		t.Errorf("zero should be +inf, got %v", s.Zero)
+	}
+	if s.Mul(s.One, 5) != 5 {
+		t.Errorf("one is not a multiplicative identity")
+	}
+}
+
+func TestMaxMinIdentities(t *testing.T) {
+	s := MaxMin()
+	if got := s.Add(3, 4); got != 4 {
+		t.Errorf("Add(3,4)=%v, want 4", got)
+	}
+	if got := s.Mul(3, 4); got != 3 {
+		t.Errorf("Mul(3,4)=%v, want 3", got)
+	}
+	if s.Mul(s.One, 5) != 5 {
+		t.Errorf("one is not a multiplicative identity")
+	}
+}
+
+func TestBoolOrAnd(t *testing.T) {
+	s := BoolOrAnd()
+	cases := []struct{ a, b, add, mul float64 }{
+		{0, 0, 0, 0},
+		{1, 0, 1, 0},
+		{0, 1, 1, 0},
+		{1, 1, 1, 1},
+		{2.5, -1, 1, 1}, // any nonzero is truthy
+	}
+	for _, c := range cases {
+		if got := s.Add(c.a, c.b); got != c.add {
+			t.Errorf("Add(%v,%v)=%v, want %v", c.a, c.b, got, c.add)
+		}
+		if got := s.Mul(c.a, c.b); got != c.mul {
+			t.Errorf("Mul(%v,%v)=%v, want %v", c.a, c.b, got, c.mul)
+		}
+	}
+}
+
+func TestPlusPairsCountsMatches(t *testing.T) {
+	s := PlusPairs()
+	if got := s.Mul(3.5, -2); got != 1 {
+		t.Errorf("Mul of two nonzeros should be 1, got %v", got)
+	}
+	if got := s.Mul(0, 5); got != 0 {
+		t.Errorf("Mul with a structural zero should be 0, got %v", got)
+	}
+	// Accumulating k matches yields k.
+	acc := s.Zero
+	for i := 0; i < 5; i++ {
+		acc = s.Add(acc, s.Mul(1, 1))
+	}
+	if acc != 5 {
+		t.Errorf("accumulated 5 matches, got %v", acc)
+	}
+}
+
+// Semiring laws checked with property-based tests. Floating point addition is
+// not exactly associative, so the plus-times law tests use small integers.
+func smallInts(v float64) float64 { return float64(int64(v) % 1000) }
+
+func TestPlusTimesDistributesProperty(t *testing.T) {
+	s := PlusTimes()
+	f := func(a, b, c float64) bool {
+		a, b, c = smallInts(a), smallInts(b), smallInts(c)
+		return s.Mul(a, s.Add(b, c)) == s.Add(s.Mul(a, b), s.Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCommutativeProperty(t *testing.T) {
+	for _, s := range []*Semiring{PlusTimes(), MinPlus(), MaxMin(), BoolOrAnd(), PlusPairs()} {
+		s := s
+		f := func(a, b float64) bool {
+			a, b = smallInts(a), smallInts(b)
+			return s.Add(a, b) == s.Add(b, a)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestZeroIsAdditiveIdentityProperty(t *testing.T) {
+	for _, s := range []*Semiring{PlusTimes(), MinPlus(), MaxMin(), BoolOrAnd()} {
+		s := s
+		canonicalize := s.Name == "bool-or-and"
+		f := func(a float64) bool {
+			a = smallInts(a)
+			if canonicalize {
+				// The Boolean semiring normalizes to {0,1}; the identity law
+				// only holds on canonical elements.
+				if a != 0 {
+					a = 1
+				}
+			}
+			return s.Add(a, s.Zero) == a
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestZeroAnnihilatesProperty(t *testing.T) {
+	for _, s := range []*Semiring{PlusTimes(), BoolOrAnd(), PlusPairs()} {
+		s := s
+		f := func(a float64) bool {
+			a = smallInts(a)
+			return s.Mul(a, s.Zero) == s.Zero && s.Mul(s.Zero, a) == s.Zero
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestMinPlusAssociativeProperty(t *testing.T) {
+	s := MinPlus()
+	f := func(a, b, c float64) bool {
+		a, b, c = smallInts(a), smallInts(b), smallInts(c)
+		return s.Add(s.Add(a, b), c) == s.Add(a, s.Add(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

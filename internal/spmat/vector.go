@@ -1,0 +1,171 @@
+package spmat
+
+import "fmt"
+
+// ColSums returns the sum of stored values per column.
+func (m *CSC) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for j := int32(0); j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		var s float64
+		for p := lo; p < hi; p++ {
+			s += m.Val[p]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// RowSums returns the sum of stored values per row.
+func (m *CSC) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for p, r := range m.RowIdx {
+		out[r] += m.Val[p]
+	}
+	return out
+}
+
+// ColCounts returns the number of stored entries per column.
+func (m *CSC) ColCounts() []int64 {
+	out := make([]int64, m.Cols)
+	for j := int32(0); j < m.Cols; j++ {
+		out[j] = m.ColNNZ(j)
+	}
+	return out
+}
+
+// RowCounts returns the number of stored entries per row.
+func (m *CSC) RowCounts() []int64 {
+	out := make([]int64, m.Rows)
+	for _, r := range m.RowIdx {
+		out[r]++
+	}
+	return out
+}
+
+// Diag returns the main-diagonal values as a dense vector.
+func (m *CSC) Diag() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	out := make([]float64, n)
+	for j := int32(0); j < n; j++ {
+		rows, vals := m.Column(j)
+		for p, r := range rows {
+			if r == j {
+				out[j] += vals[p]
+			}
+		}
+	}
+	return out
+}
+
+// ScaleColumns multiplies column j by s[j], in place.
+func (m *CSC) ScaleColumns(s []float64) {
+	if int32(len(s)) != m.Cols {
+		panic(fmt.Sprintf("spmat: ScaleColumns got %d factors for %d columns", len(s), m.Cols))
+	}
+	for j := int32(0); j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		f := s[j]
+		for p := lo; p < hi; p++ {
+			m.Val[p] *= f
+		}
+	}
+}
+
+// ScaleRows multiplies row i by s[i], in place.
+func (m *CSC) ScaleRows(s []float64) {
+	if int32(len(s)) != m.Rows {
+		panic(fmt.Sprintf("spmat: ScaleRows got %d factors for %d rows", len(s), m.Rows))
+	}
+	for p, r := range m.RowIdx {
+		m.Val[p] *= s[r]
+	}
+}
+
+// MatVec computes y = m·x for a dense vector x.
+func (m *CSC) MatVec(x []float64) []float64 {
+	if int32(len(x)) != m.Cols {
+		panic(fmt.Sprintf("spmat: MatVec got %d-vector for %d columns", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for j := int32(0); j < m.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		rows, vals := m.Column(j)
+		for p := range rows {
+			y[rows[p]] += vals[p] * xj
+		}
+	}
+	return y
+}
+
+// PermuteRows relabels rows: entry at row r moves to row perm[r]. perm must
+// be a permutation of [0, rows).
+func PermuteRows(m *CSC, perm []int32) *CSC {
+	if int32(len(perm)) != m.Rows {
+		panic(fmt.Sprintf("spmat: PermuteRows got %d-permutation for %d rows", len(perm), m.Rows))
+	}
+	out := m.Clone()
+	for p, r := range out.RowIdx {
+		out.RowIdx[p] = perm[r]
+	}
+	out.SortedCols = false
+	out.SortColumns()
+	return out
+}
+
+// PermuteCols relabels columns: column c moves to column perm[c].
+func PermuteCols(m *CSC, perm []int32) *CSC {
+	if int32(len(perm)) != m.Cols {
+		panic(fmt.Sprintf("spmat: PermuteCols got %d-permutation for %d columns", len(perm), m.Cols))
+	}
+	inverse := make([]int32, m.Cols)
+	for c, d := range perm {
+		inverse[d] = int32(c)
+	}
+	// Column d of the output is column inverse[d] of the input.
+	return ColSelect(m, inverse)
+}
+
+// Kron returns the Kronecker product a ⊗ b: a (ra·rb)×(ca·cb) matrix where
+// block (i,j) is a(i,j)·b. Kronecker powers of a small seed matrix generate
+// the deterministic scale-free graphs of the Graph500 family.
+func Kron(a, b *CSC) *CSC {
+	rows := int64(a.Rows) * int64(b.Rows)
+	cols := int64(a.Cols) * int64(b.Cols)
+	if rows > 1<<31-1 || cols > 1<<31-1 {
+		panic("spmat: Kron result exceeds int32 index space")
+	}
+	nnz := a.NNZ() * b.NNZ()
+	out := &CSC{
+		Rows:       int32(rows),
+		Cols:       int32(cols),
+		ColPtr:     make([]int64, cols+1),
+		RowIdx:     make([]int32, 0, nnz),
+		Val:        make([]float64, 0, nnz),
+		SortedCols: a.SortedCols && b.SortedCols,
+	}
+	c := int64(0)
+	for ja := int32(0); ja < a.Cols; ja++ {
+		rowsA, valsA := a.Column(ja)
+		for jb := int32(0); jb < b.Cols; jb++ {
+			rowsB, valsB := b.Column(jb)
+			for pa := range rowsA {
+				base := int64(rowsA[pa]) * int64(b.Rows)
+				va := valsA[pa]
+				for pb := range rowsB {
+					out.RowIdx = append(out.RowIdx, int32(base+int64(rowsB[pb])))
+					out.Val = append(out.Val, va*valsB[pb])
+				}
+			}
+			c++
+			out.ColPtr[c] = int64(len(out.RowIdx))
+		}
+	}
+	return out
+}

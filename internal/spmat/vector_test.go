@@ -1,0 +1,168 @@
+package spmat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestColRowSums(t *testing.T) {
+	m := Dense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	cs := m.ColSums()
+	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 {
+		t.Errorf("ColSums=%v", cs)
+	}
+	rs := m.RowSums()
+	if rs[0] != 6 || rs[1] != 15 {
+		t.Errorf("RowSums=%v", rs)
+	}
+}
+
+func TestColRowCounts(t *testing.T) {
+	m := Dense(3, 3, []float64{1, 0, 2, 0, 0, 3, 4, 0, 0})
+	cc := m.ColCounts()
+	if cc[0] != 2 || cc[1] != 0 || cc[2] != 2 {
+		t.Errorf("ColCounts=%v", cc)
+	}
+	rc := m.RowCounts()
+	if rc[0] != 2 || rc[1] != 1 || rc[2] != 1 {
+		t.Errorf("RowCounts=%v", rc)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Dense(3, 3, []float64{7, 1, 0, 0, 8, 0, 0, 0, 9})
+	d := m.Diag()
+	if d[0] != 7 || d[1] != 8 || d[2] != 9 {
+		t.Errorf("Diag=%v", d)
+	}
+	// Rectangular: diagonal truncates at the short side.
+	r := Dense(2, 3, []float64{5, 0, 0, 0, 6, 0})
+	dr := r.Diag()
+	if len(dr) != 2 || dr[0] != 5 || dr[1] != 6 {
+		t.Errorf("rect Diag=%v", dr)
+	}
+}
+
+func TestScaleColumnsRows(t *testing.T) {
+	m := Dense(2, 2, []float64{1, 2, 3, 4})
+	m.ScaleColumns([]float64{10, 100})
+	if m.At(0, 0) != 10 || m.At(0, 1) != 200 || m.At(1, 0) != 30 || m.At(1, 1) != 400 {
+		t.Error("ScaleColumns wrong")
+	}
+	m.ScaleRows([]float64{1, 0.1})
+	if math.Abs(m.At(1, 0)-3) > 1e-12 || math.Abs(m.At(1, 1)-40) > 1e-12 {
+		t.Error("ScaleRows wrong")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := Dense(2, 3, []float64{1, 2, 0, 0, 1, 3})
+	y := m.MatVec([]float64{1, 2, 3})
+	if y[0] != 5 || y[1] != 11 {
+		t.Errorf("MatVec=%v", y)
+	}
+}
+
+func TestMatVecAgainstDense(t *testing.T) {
+	m := randomCSC(t, 30, 25, 0.2, 41)
+	x := make([]float64, 25)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	got := m.MatVec(x)
+	d := m.ToDense()
+	for i := int32(0); i < 30; i++ {
+		var want float64
+		for j := int32(0); j < 25; j++ {
+			want += d[int(i)*25+int(j)] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("row %d: %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestPermuteRowsAndCols(t *testing.T) {
+	m := Dense(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	perm := []int32{2, 0, 1} // row/col r → perm[r]
+	pr := PermuteRows(m, perm)
+	for i := int32(0); i < 3; i++ {
+		for j := int32(0); j < 3; j++ {
+			if pr.At(perm[i], j) != m.At(i, j) {
+				t.Fatalf("PermuteRows wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !pr.SortedCols {
+		t.Error("PermuteRows should restore sortedness")
+	}
+	pc := PermuteCols(m, perm)
+	for i := int32(0); i < 3; i++ {
+		for j := int32(0); j < 3; j++ {
+			if pc.At(i, perm[j]) != m.At(i, j) {
+				t.Fatalf("PermuteCols wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	m := randomCSC(t, 20, 20, 0.25, 42)
+	perm := make([]int32, 20)
+	inv := make([]int32, 20)
+	for i := range perm {
+		perm[i] = int32((i*7 + 3) % 20)
+		inv[perm[i]] = int32(i)
+	}
+	if !Equal(m, PermuteRows(PermuteRows(m, perm), inv)) {
+		t.Error("row permute round trip failed")
+	}
+	if !Equal(m, PermuteCols(PermuteCols(m, perm), inv)) {
+		t.Error("col permute round trip failed")
+	}
+}
+
+func TestKronSmall(t *testing.T) {
+	a := Dense(2, 2, []float64{1, 2, 0, 3})
+	b := Dense(2, 2, []float64{0, 1, 1, 0})
+	k := Kron(a, b)
+	if k.Rows != 4 || k.Cols != 4 {
+		t.Fatalf("shape %v", k)
+	}
+	// (a⊗b)(i*2+ib, j*2+jb) = a(i,j)*b(ib,jb).
+	for i := int32(0); i < 2; i++ {
+		for j := int32(0); j < 2; j++ {
+			for ib := int32(0); ib < 2; ib++ {
+				for jb := int32(0); jb < 2; jb++ {
+					want := a.At(i, j) * b.At(ib, jb)
+					if got := k.At(i*2+ib, j*2+jb); got != want {
+						t.Fatalf("Kron(%d,%d)=%v want %v", i*2+ib, j*2+jb, got, want)
+					}
+				}
+			}
+		}
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKronNNZMultiplies(t *testing.T) {
+	a := randomCSC(t, 8, 8, 0.3, 43)
+	b := randomCSC(t, 5, 5, 0.4, 44)
+	k := Kron(a, b)
+	if k.NNZ() != a.NNZ()*b.NNZ() {
+		t.Errorf("nnz(Kron)=%d, want %d", k.NNZ(), a.NNZ()*b.NNZ())
+	}
+	if int64(k.Rows) != int64(a.Rows)*int64(b.Rows) {
+		t.Error("Kron rows wrong")
+	}
+}
+
+func TestKronIdentity(t *testing.T) {
+	m := randomCSC(t, 6, 6, 0.3, 45)
+	k := Kron(Identity(1), m)
+	if !Equal(k, m) {
+		t.Error("I1 ⊗ M ≠ M")
+	}
+}

@@ -1,0 +1,304 @@
+// Package spgemm is the public API of this reproduction of
+// "Communication-Avoiding and Memory-Constrained Sparse Matrix-Matrix
+// Multiplication at Extreme Scale" (Hussain, Selvitopi, Buluç, Azad —
+// IPDPS 2021, arXiv:2010.08526).
+//
+// The package exposes:
+//
+//   - sparse matrices (CSC) with construction, I/O, and manipulation;
+//   - serial SpGEMM kernels over arbitrary semirings (the paper's sort-free
+//     hash kernels and the previous heap/hybrid generation);
+//   - Cluster, a simulated distributed machine on which BatchedSUMMA3D — the
+//     paper's integrated communication-avoiding, memory-constrained
+//     algorithm — executes with per-step metering;
+//   - the three driving applications: Markov clustering (HipMCL), triangle
+//     counting, and sequence-overlap detection (BELLA/PASTIS).
+//
+// A minimal multiply:
+//
+//	a := spgemm.RandomProteinNetwork(10, 8, 42)
+//	cluster := spgemm.NewCluster(16, 4)       // 16 processes, 4 layers
+//	c, stats, err := cluster.Multiply(a, a, spgemm.Options{})
+//
+// Batched, memory-constrained usage (the paper's headline feature):
+//
+//	opts := spgemm.Options{MemBytes: budget}   // symbolic step picks b
+//	c, stats, err := cluster.Multiply(a, a, opts)
+//	fmt.Println(stats.Batches, stats.PeakMemBytes)
+package spgemm
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/genmat"
+	"repro/internal/localmm"
+	"repro/internal/mpi"
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+// Matrix is a sparse matrix in compressed sparse column form. See the spmat
+// package for the full method set (NNZ, Column, Transpose helpers, …).
+type Matrix = spmat.CSC
+
+// Triple is a coordinate-format entry used to build matrices.
+type Triple = spmat.Triple
+
+// Semiring is the algebra SpGEMM multiplies over.
+type Semiring = semiring.Semiring
+
+// Machine describes an evaluation platform (α–β constants plus compute
+// scaling); see NewCluster.
+type Machine = costmodel.Machine
+
+// Re-exported semirings.
+var (
+	// PlusTimes is ordinary arithmetic.
+	PlusTimes = semiring.PlusTimes
+	// MinPlus is the tropical (shortest-path) semiring.
+	MinPlus = semiring.MinPlus
+	// MaxMin is the bottleneck semiring.
+	MaxMin = semiring.MaxMin
+	// BoolOrAnd is Boolean reachability.
+	BoolOrAnd = semiring.BoolOrAnd
+	// PlusPairs counts structural matches (shared k-mers).
+	PlusPairs = semiring.PlusPairs
+)
+
+// Kernel selects the local multiply implementation.
+type Kernel = localmm.Kernel
+
+// Merger selects the merge implementation.
+type Merger = localmm.Merger
+
+// Local kernel generations (Sec. IV-D of the paper).
+const (
+	// KernelHashUnsorted is the paper's new sort-free hash kernel (default).
+	KernelHashUnsorted = localmm.KernelHashUnsorted
+	// KernelHashSorted sorts each output column.
+	KernelHashSorted = localmm.KernelHashSorted
+	// KernelHeap is the previous heap kernel (always sorted).
+	KernelHeap = localmm.KernelHeap
+	// KernelHybrid is the previous hybrid heap/hash kernel.
+	KernelHybrid = localmm.KernelHybrid
+	// MergerHash is the paper's new sort-free hash merge (default).
+	MergerHash = localmm.MergerHash
+	// MergerHeap is the previous heap merge.
+	MergerHeap = localmm.MergerHeap
+)
+
+// NewMatrix returns an empty rows×cols matrix.
+func NewMatrix(rows, cols int32) *Matrix { return spmat.New(rows, cols) }
+
+// FromTriples builds a matrix from coordinates, accumulating duplicates.
+func FromTriples(rows, cols int32, ts []Triple) (*Matrix, error) {
+	return spmat.FromTriples(rows, cols, ts, nil)
+}
+
+// Identity returns the n×n identity.
+func Identity(n int32) *Matrix { return spmat.Identity(n) }
+
+// Transpose returns the transpose with sorted columns.
+func Transpose(m *Matrix) *Matrix { return spmat.Transpose(m) }
+
+// Equal compares two matrices exactly, independent of within-column
+// ordering. Distributed and serial multiplications of floating-point
+// matrices can differ in summation order; use EqualApprox for those.
+func Equal(a, b *Matrix) bool { return spmat.Equal(a, b) }
+
+// EqualApprox compares two matrices entry-wise within tol.
+func EqualApprox(a, b *Matrix, tol float64) bool { return spmat.ApproxEqual(a, b, tol) }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return spmat.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes a MatrixMarket coordinate stream.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return spmat.WriteMatrixMarket(w, m) }
+
+// MultiplySerial computes A·B on the host with the paper's hash kernel
+// (sorted output). A nil semiring means plus-times.
+func MultiplySerial(a, b *Matrix, sr *Semiring) *Matrix {
+	if sr == nil {
+		sr = semiring.PlusTimes()
+	}
+	return localmm.Multiply(a, b, sr)
+}
+
+// Flops returns the number of multiplications needed for A·B.
+func Flops(a, b *Matrix) int64 { return localmm.Flops(a, b) }
+
+// NNZEstimate returns nnz(A·B) without forming the product (the symbolic
+// kernel of Alg 3).
+func NNZEstimate(a, b *Matrix) int64 { return localmm.SymbolicSpGEMM(a, b) }
+
+// RandomProteinNetwork generates a symmetric, weighted, reflexive power-law
+// matrix with 2^scale rows — a protein-similarity-network analogue.
+func RandomProteinNetwork(scale, edgeFactor int, seed int64) *Matrix {
+	return genmat.ProteinSimilarity(scale, edgeFactor, seed)
+}
+
+// RandomGraph generates an R-MAT power-law graph with 2^scale vertices.
+func RandomGraph(scale, edgeFactor int, symmetric bool, seed int64) *Matrix {
+	return genmat.RMAT(genmat.RMATConfig{
+		Scale: scale, EdgeFactor: edgeFactor, Symmetrize: symmetric, Seed: seed,
+	})
+}
+
+// RandomKmerMatrix generates a reads×kmers incidence matrix with overlapping
+// read structure for AAᵀ studies.
+func RandomKmerMatrix(reads, kmers int32, kmersPerRead int, overlap float64, seed int64) *Matrix {
+	return genmat.Kmer(genmat.KmerConfig{
+		Reads: reads, Kmers: kmers, KmersPerRead: kmersPerRead, Overlap: overlap, Seed: seed,
+	})
+}
+
+// Options configures a distributed multiplication. The zero value runs the
+// paper's defaults: sort-free hash kernels, unconstrained memory (b = 1).
+type Options struct {
+	// Semiring defaults to plus-times.
+	Semiring *Semiring
+	// Kernel and Merger select the local implementations.
+	Kernel Kernel
+	Merger Merger
+	// MemBytes is the aggregate memory budget; when positive the symbolic
+	// step (Alg 3) picks the batch count.
+	MemBytes int64
+	// Batches forces a batch count, bypassing the symbolic step.
+	Batches int
+	// MeasureSymbolic runs (and meters) the symbolic step even when Batches
+	// is forced.
+	MeasureSymbolic bool
+}
+
+func (o Options) toCore() core.Options {
+	return core.Options{
+		Semiring:     o.Semiring,
+		Kernel:       o.Kernel,
+		Merger:       o.Merger,
+		MemBytes:     o.MemBytes,
+		ForceBatches: o.Batches,
+		RunSymbolic:  o.MeasureSymbolic,
+	}
+}
+
+// BatchHook observes (and may prune) each finished batch of the local output;
+// see Cluster.MultiplyBatched.
+type BatchHook = core.BatchHook
+
+// Stats reports what a distributed multiplication did.
+type Stats struct {
+	// Batches is the executed batch count (the symbolic decision unless
+	// forced).
+	Batches int
+	// PeakMemBytes is the max-over-ranks modeled memory high-water mark.
+	PeakMemBytes int64
+	// Flops is the total multiplication count across ranks.
+	Flops int64
+	// Steps maps each of the paper's seven steps to (modeled comm seconds,
+	// measured compute seconds, payload bytes).
+	Steps map[string]StepStat
+	// TotalSeconds is the modeled critical-path time: max over ranks of
+	// modeled communication plus measured computation.
+	TotalSeconds float64
+}
+
+// StepStat is one step's aggregated metering.
+type StepStat struct {
+	CommSeconds    float64
+	ComputeSeconds float64
+	Bytes          int64
+	Messages       int64
+}
+
+// StepNames lists the seven steps in the paper's order.
+func StepNames() []string { return append([]string(nil), core.Steps...) }
+
+// Cluster is a simulated distributed machine: p goroutine ranks on a
+// √(p/l)×√(p/l)×l grid with α–β-modeled communication.
+type Cluster struct {
+	procs, layers int
+	machine       Machine
+}
+
+// NewCluster returns a cluster with p processes in l layers on the default
+// Cori-KNL-like machine model. p must be l times a perfect square.
+func NewCluster(p, l int) *Cluster {
+	return &Cluster{procs: p, layers: l, machine: costmodel.CoriKNL()}
+}
+
+// OnMachine returns a copy of the cluster using the given machine model.
+func (c *Cluster) OnMachine(m Machine) *Cluster {
+	return &Cluster{procs: c.procs, layers: c.layers, machine: m}
+}
+
+// Procs returns the process count.
+func (c *Cluster) Procs() int { return c.procs }
+
+// Layers returns the layer count.
+func (c *Cluster) Layers() int { return c.layers }
+
+// KNL, Haswell, and LocalHost are the predefined machine models.
+func KNL() Machine       { return costmodel.CoriKNL() }
+func Haswell() Machine   { return costmodel.CoriHaswell() }
+func LocalHost() Machine { return costmodel.LocalHost() }
+
+// Multiply runs BatchedSUMMA3D for C = A·B and assembles the global result.
+func (c *Cluster) Multiply(a, b *Matrix, opts Options) (*Matrix, *Stats, error) {
+	return c.multiply(a, b, opts, nil)
+}
+
+// MultiplyBatched runs BatchedSUMMA3D, invoking hook on every rank for every
+// finished batch (the memory-constrained consumption pattern: prune inside
+// the hook, or return an empty matrix to discard). The assembled result
+// reflects the hook's pruning.
+func (c *Cluster) MultiplyBatched(a, b *Matrix, opts Options, hook func(rank, batch int, globalCols []int32, piece *Matrix) *Matrix) (*Matrix, *Stats, error) {
+	var hf core.HookFactory
+	if hook != nil {
+		hf = func(rank int) core.BatchHook {
+			return func(batch int, cols []int32, m *Matrix) *Matrix {
+				return hook(rank, batch, cols, m)
+			}
+		}
+	}
+	return c.multiply(a, b, opts, hf)
+}
+
+func (c *Cluster) multiply(a, b *Matrix, opts Options, hf core.HookFactory) (*Matrix, *Stats, error) {
+	rc := core.RunConfig{P: c.procs, L: c.layers, Cost: c.machine.Cost(), Opts: opts.toCore()}
+	out, results, summary, err := core.Multiply(a, b, rc, hf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, c.stats(results, summary), nil
+}
+
+// stats converts internal results into the public Stats.
+func (c *Cluster) stats(results []*core.Result, summary *mpi.Summary) *Stats {
+	st := &Stats{Steps: make(map[string]StepStat), Batches: results[0].Batches}
+	for _, r := range results {
+		st.Flops += r.LocalFlops
+		if r.PeakMemBytes > st.PeakMemBytes {
+			st.PeakMemBytes = r.PeakMemBytes
+		}
+	}
+	for _, step := range core.Steps {
+		s := summary.Step(step)
+		st.Steps[step] = StepStat{
+			CommSeconds:    s.CommSeconds * c.machine.CommScale,
+			ComputeSeconds: s.ComputeSeconds * c.machine.ComputeScale,
+			Bytes:          s.Bytes,
+			Messages:       s.Messages,
+		}
+		st.TotalSeconds += st.Steps[step].CommSeconds + st.Steps[step].ComputeSeconds
+	}
+	return st
+}
+
+// RowOffsetOf returns the global row index of local row 0 for a given rank
+// of this cluster over a matrix with the given row count; hooks need it to
+// translate local row indices.
+func (c *Cluster) RowOffsetOf(rows int32, rank int) int32 {
+	return core.RowOffsetFor(rows, c.procs, c.layers, rank)
+}
