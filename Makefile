@@ -1,0 +1,34 @@
+# Development entry points. `make build test` is the tier-1 gate;
+# `make race` is the concurrency gate for the multithreaded local kernels.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race vet bench fuzz ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race gate: the packages that run goroutines (simulated ranks in mpi/core,
+# worker threads in localmm) under the race detector, race workouts included.
+race:
+	$(GO) test -race ./internal/localmm ./internal/core ./internal/mpi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Bounded fuzz pass over the Matrix Market reader (seed corpus in
+# internal/spmat/testdata/fuzz). Override FUZZTIME for longer local runs,
+# e.g. `make fuzz FUZZTIME=5m`.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadMatrixMarket -fuzztime=$(FUZZTIME) ./internal/spmat
+
+ci: build vet test race

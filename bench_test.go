@@ -8,6 +8,7 @@
 package spgemm_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -70,7 +71,7 @@ func benchKernel(b *testing.B, k localmm.Kernel) {
 	fn := k.Func()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fn(a, a, sr)
+		fn(a, a, sr, 1)
 	}
 	b.ReportMetric(float64(localmm.Flops(a, a)), "flops/op")
 }
@@ -79,6 +80,24 @@ func BenchmarkKernelHashUnsorted(b *testing.B) { benchKernel(b, localmm.KernelHa
 func BenchmarkKernelHashSorted(b *testing.B)   { benchKernel(b, localmm.KernelHashSorted) }
 func BenchmarkKernelHeap(b *testing.B)         { benchKernel(b, localmm.KernelHeap) }
 func BenchmarkKernelHybrid(b *testing.B)       { benchKernel(b, localmm.KernelHybrid) }
+
+// --- Ablation 1b: thread sweep of the two-phase parallel hash kernel
+// (Sec. IV-D runs 16 threads per process; on a multi-core runner threads=8
+// should beat threads=1 by well over 1.5x on this workload). ---
+
+func BenchmarkHashSpGEMMParallel(b *testing.B) {
+	a := genmat.ProteinSimilarity(11, 8, 7)
+	sr := semiring.PlusTimes()
+	flops := float64(localmm.Flops(a, a))
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.ReportMetric(flops, "flops/op")
+			for i := 0; i < b.N; i++ {
+				localmm.ParallelSpGEMM(localmm.KernelHashUnsorted, a, a, sr, threads)
+			}
+		})
+	}
+}
 
 // --- Ablation 2: merge algorithms on sorted vs unsorted inputs. ---
 

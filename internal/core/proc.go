@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/distmat"
 	"repro/internal/grid"
-	"repro/internal/localmm"
 	"repro/internal/spmat"
 )
 
@@ -107,18 +106,23 @@ func AssembleResults(results []*Result, rows, cols int32) (*spmat.CSC, error) {
 	return spmat.FromTriples(rows, cols, ts, nil)
 }
 
-// kernelFn returns the configured local-multiply function.
+// kernelFn returns the configured local-multiply function. Opts.Threads > 1
+// runs the two-phase parallel kernel; the workers execute inside the caller's
+// MeasureCompute token, so the single-token gate still serializes ranks and
+// intra-rank speedup shows up as shorter measured compute time.
 func (p *Proc) kernelFn() func(a, b *spmat.CSC) *spmat.CSC {
 	k, sr, threads := p.Opts.Kernel, p.Opts.Semiring, p.Opts.Threads
+	fn := k.Func()
 	return func(a, b *spmat.CSC) *spmat.CSC {
-		return localmm.ParallelSpGEMM(k, a, b, sr, threads)
+		return fn(a, b, sr, threads)
 	}
 }
 
-// mergeFn returns the configured merge function.
+// mergeFn returns the configured merge function, parallelized the same way as
+// kernelFn when Opts.Threads > 1.
 func (p *Proc) mergeFn() func(mats []*spmat.CSC, sorted bool) *spmat.CSC {
 	mg, sr, threads := p.Opts.Merger, p.Opts.Semiring, p.Opts.Threads
 	return func(mats []*spmat.CSC, sorted bool) *spmat.CSC {
-		return localmm.ParallelMerge(mg, mats, sr, sorted, threads)
+		return mg.Merge(mats, sr, sorted, threads)
 	}
 }

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/localmm"
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+// TestBatchedSUMMA3DWithThreadsRace runs a small end-to-end BatchedSUMMA3D
+// with multithreaded local kernels so `go test -race ./internal/core`
+// exercises rank concurrency and intra-rank worker concurrency together —
+// every combination of kernel parallelism inside the MeasureCompute token.
+// Guarded by -short so the default suite stays fast.
+func TestBatchedSUMMA3DWithThreadsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workout skipped in -short mode")
+	}
+	a := randomMat(t, 64, 64, 600, 41)
+	b := randomMat(t, 64, 64, 600, 42)
+	want := localmm.Multiply(a, b, semiring.PlusTimes())
+	for _, cfg := range []struct{ p, l, b, threads int }{
+		{4, 1, 1, 4},
+		{8, 2, 2, 4},
+		{16, 4, 3, 8},
+	} {
+		got, _, _ := runDistributed(t, cfg.p, cfg.l, a, b,
+			Options{ForceBatches: cfg.b, Threads: cfg.threads}, nil)
+		if !spmat.Equal(got, want) {
+			t.Errorf("p=%d l=%d b=%d threads=%d: distributed result differs from serial",
+				cfg.p, cfg.l, cfg.b, cfg.threads)
+		}
+	}
+	// The previous-generation kernel/merger pair under threads, too.
+	got, _, _ := runDistributed(t, 4, 1, a, b, Options{
+		ForceBatches: 2, Threads: 4,
+		Kernel: localmm.KernelHeap, Merger: localmm.MergerHeap,
+	}, nil)
+	if !spmat.Equal(got, want) {
+		t.Error("heap kernel/merger with threads: distributed result differs")
+	}
+}

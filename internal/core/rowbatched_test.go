@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/localmm"
@@ -28,13 +29,16 @@ func TestRowBatchedMatchesSerial(t *testing.T) {
 func TestRowBatchedHookSeesRowBatches(t *testing.T) {
 	a := randomMat(t, 32, 32, 250, 72)
 	rowsSeen := map[int32]bool{}
+	var mu sync.Mutex // hooks run on concurrent rank goroutines
 	rc := RunConfig{P: 4, L: 1, Cost: testCM, Opts: Options{ForceBatches: 2}}
 	_, _, err := MultiplyRowBatched(a, a, rc, func(rank int) BatchHook {
 		return func(_ int, globalCols []int32, piece *spmat.CSC) *spmat.CSC {
 			// globalCols of the transposed product are global rows of C.
+			mu.Lock()
 			for _, r := range globalCols {
 				rowsSeen[r] = true
 			}
+			mu.Unlock()
 			return nil
 		}
 	})

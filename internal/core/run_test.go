@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/localmm"
@@ -42,9 +43,10 @@ func TestMultiplyDiscardKeepsNothing(t *testing.T) {
 	results, sum, err := MultiplyDiscard(a, a, RunConfig{P: 4, L: 1, Cost: testCM, Opts: Options{ForceBatches: 4}},
 		func(rank int) BatchHook {
 			return func(batch int, cols []int32, c *spmat.CSC) *spmat.CSC {
-				// The hook still sees real batch data.
+				// The hook still sees real batch data. Hooks run on
+				// concurrent rank goroutines, so the flag must be atomic.
 				if c.NNZ() > 0 {
-					seen = 1
+					atomic.StoreInt64(&seen, 1)
 				}
 				return nil
 			}
@@ -52,7 +54,7 @@ func TestMultiplyDiscardKeepsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seen == 0 {
+	if atomic.LoadInt64(&seen) == 0 {
 		t.Error("hooks saw no data")
 	}
 	for r, res := range results {

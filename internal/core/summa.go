@@ -34,6 +34,10 @@ func (p *Proc) summa2DStage(s int, bBatch *spmat.CSC, res *Result) *spmat.CSC {
 
 	// Local multiply (Alg 1 line 7). Work units = flops plus the operand
 	// traversal cost, so empty products still carry their column-scan work.
+	// With Opts.Threads > 1 the kernel's workers all run inside this rank's
+	// MeasureCompute token: the single-token gate still serializes ranks, so
+	// intra-rank parallelism appears as shorter measured compute, exactly the
+	// paper's 16-threads-per-process configuration.
 	meter.SetCategory(StepLocalMult)
 	var prod *spmat.CSC
 	sec := mpi.MeasureCompute(func() {

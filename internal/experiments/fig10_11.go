@@ -57,7 +57,7 @@ func runFig10(opts RunOpts) (*Report, error) {
 		var t1, t16 float64
 		for _, l := range []int{1, 4, 16} {
 			rr := runMulDiscard(a, aT, p, l, opts.Machine, mem, 0,
-				core.Options{Semiring: semiring.PlusPairs(), RunSymbolic: true})
+				opts.coreOpts(core.Options{Semiring: semiring.PlusPairs(), RunSymbolic: true}))
 			if rr.Err != nil {
 				return nil, rr.Err
 			}
@@ -100,7 +100,7 @@ func runFig11(opts RunOpts) (*Report, error) {
 		var t1, t16 float64
 		for _, l := range []int{1, 4, 16} {
 			rr := runMulDiscard(a, aT, p, l, opts.Machine, 0, 1,
-				core.Options{Semiring: semiring.PlusPairs(), RunSymbolic: true})
+				opts.coreOpts(core.Options{Semiring: semiring.PlusPairs(), RunSymbolic: true}))
 			if rr.Err != nil {
 				return nil, rr.Err
 			}

@@ -17,6 +17,16 @@ const coresPerProc = 16
 // coresLabel formats a process count as the paper's core-count axis label.
 func coresLabel(p int) string { return fmt.Sprintf("%d", p*coresPerProc) }
 
+// coreOpts applies the run-wide knobs of RunOpts (currently the intra-rank
+// thread count) to a per-experiment core.Options literal; explicit settings
+// in the literal win.
+func (o RunOpts) coreOpts(c core.Options) core.Options {
+	if c.Threads == 0 {
+		c.Threads = o.Threads
+	}
+	return c
+}
+
 // runResult bundles what one distributed multiplication yields for plotting.
 type runResult struct {
 	P, L, B int

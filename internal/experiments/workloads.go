@@ -43,6 +43,10 @@ type RunOpts struct {
 	// Machine supplies the α–β constants and compute scaling; zero value
 	// defaults to Cori-KNL.
 	Machine costmodel.Machine
+	// Threads is the intra-rank worker count for the local multiply and merge
+	// kernels (core.Options.Threads). 0 or 1 keeps the kernels serial, the
+	// configuration all published figure shapes use.
+	Threads int
 	// Verbose experiments may add extra tables.
 	Verbose bool
 }

@@ -10,6 +10,28 @@
 //
 // All kernels are column-Gustavson: C(:,j) = Σ_{i : B(i,j)≠0} A(:,i)·B(i,j),
 // and all accept an arbitrary semiring.
+//
+// # Multithreading
+//
+// Every kernel and merger also has a multithreaded form (ParallelSpGEMM,
+// ParallelMerge, and the threads argument of Kernel.Func and Merger.Merge),
+// mirroring the paper's 16-threads-per-process Cori-KNL configuration. The
+// parallel plan is two-phase: a parallel symbolic pass computes the exact
+// nonzero count of every output column, the output is allocated once from
+// the prefix sum of those counts, and a parallel numeric pass fills each
+// column in place. Workers own contiguous column ranges balanced by flop
+// count (not column count), reuse pooled accumulator state across columns
+// and calls, and never synchronize during the numeric pass because every
+// column lands in a disjoint slice of the shared output.
+//
+// threads <= 1 runs the serial kernels unchanged, which is the default for
+// all metered experiments: rank goroutines are already concurrent, and the
+// mpi compute-token gate means parallel workers — when enabled — run inside
+// a rank's measured compute section, shortening measured time without
+// perturbing the communication model. Results are independent of the thread
+// count: each output column is computed by one worker in serial operand
+// order, so even float64 accumulation is bit-identical to the serial kernel
+// (entry order within unsorted columns aside).
 package localmm
 
 import (
@@ -143,6 +165,18 @@ func (h *hashAccum) drainInto(rows []int32, vals []float64) ([]int32, []float64)
 	return rows, vals
 }
 
+// drainAt writes the accumulated pairs, in insertion order, into destination
+// slices that were pre-sized by a symbolic pass.
+func (h *hashAccum) drainAt(rows []int32, vals []float64) {
+	if len(h.occupied) != len(rows) {
+		panic(fmt.Sprintf("localmm: symbolic count %d disagrees with numeric hash output %d", len(rows), len(h.occupied)))
+	}
+	for i, s := range h.occupied {
+		rows[i] = h.rows[s]
+		vals[i] = h.vals[s]
+	}
+}
+
 // checkMulShapes panics when the operand shapes are incompatible; shape
 // errors here are programmer errors in the distribution logic.
 func checkMulShapes(a, b *spmat.CSC) {
@@ -190,23 +224,7 @@ func hashSpGEMM(a, b *spmat.CSC, sr *semiring.Semiring, sortCols bool) *spmat.CS
 		} else {
 			acc.reset()
 		}
-		if plusTimes {
-			for p := range bRows {
-				i, bv := bRows[p], bVals[p]
-				aRows, aVals := a.Column(i)
-				for q := range aRows {
-					acc.addPlus(aRows[q], aVals[q]*bv)
-				}
-			}
-		} else {
-			for p := range bRows {
-				i, bv := bRows[p], bVals[p]
-				aRows, aVals := a.Column(i)
-				for q := range aRows {
-					acc.add(aRows[q], sr.Mul(aVals[q], bv), sr.Add)
-				}
-			}
-		}
+		hashAccumulateColumn(acc, a, bRows, bVals, sr, plusTimes)
 		c.RowIdx, c.Val = acc.drainInto(c.RowIdx, c.Val)
 		c.ColPtr[j+1] = int64(len(c.RowIdx))
 	}
@@ -214,4 +232,27 @@ func hashSpGEMM(a, b *spmat.CSC, sr *semiring.Semiring, sortCols bool) *spmat.CS
 		c.SortColumns()
 	}
 	return c
+}
+
+// hashAccumulateColumn feeds one output column's products into acc: the
+// shared inner loop of hashSpGEMM, HybridSpGEMM's hash branch, and the
+// parallel hash kernels.
+func hashAccumulateColumn(acc *hashAccum, a *spmat.CSC, bRows []int32, bVals []float64, sr *semiring.Semiring, plusTimes bool) {
+	if plusTimes {
+		for p := range bRows {
+			i, bv := bRows[p], bVals[p]
+			aRows, aVals := a.Column(i)
+			for q := range aRows {
+				acc.addPlus(aRows[q], aVals[q]*bv)
+			}
+		}
+	} else {
+		for p := range bRows {
+			i, bv := bRows[p], bVals[p]
+			aRows, aVals := a.Column(i)
+			for q := range aRows {
+				acc.add(aRows[q], sr.Mul(aVals[q], bv), sr.Add)
+			}
+		}
+	}
 }

@@ -79,47 +79,7 @@ func HeapSpGEMM(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
 	var h rowHeap
 	for j := int32(0); j < b.Cols; j++ {
 		bRows, bVals := b.Column(j)
-		h = h[:0]
-		for li := range bRows {
-			i := bRows[li]
-			if a.ColNNZ(i) == 0 {
-				continue
-			}
-			start := a.ColPtr[i]
-			h.push(heapEntry{row: a.RowIdx[start], list: int32(li), ptr: start})
-		}
-		for len(h) > 0 {
-			e := h.pop()
-			row := e.row
-			var acc float64
-			first := true
-			for {
-				i := bRows[e.list]
-				var prod float64
-				if plusTimes {
-					prod = a.Val[e.ptr] * bVals[e.list]
-				} else {
-					prod = sr.Mul(a.Val[e.ptr], bVals[e.list])
-				}
-				if first {
-					acc, first = prod, false
-				} else if plusTimes {
-					acc += prod
-				} else {
-					acc = sr.Add(acc, prod)
-				}
-				// Advance this list's cursor.
-				if next := e.ptr + 1; next < a.ColPtr[i+1] {
-					h.push(heapEntry{row: a.RowIdx[next], list: e.list, ptr: next})
-				}
-				if len(h) == 0 || h[0].row != row {
-					break
-				}
-				e = h.pop()
-			}
-			c.RowIdx = append(c.RowIdx, row)
-			c.Val = append(c.Val, acc)
-		}
+		c.RowIdx, c.Val = heapMulColumn(&h, a, bRows, bVals, sr, plusTimes, c.RowIdx, c.Val)
 		c.ColPtr[j+1] = int64(len(c.RowIdx))
 	}
 	return c

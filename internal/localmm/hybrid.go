@@ -42,46 +42,7 @@ func HybridSpGEMM(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
 		}
 		if colFlops <= hybridHeapThreshold {
 			// Heap path: multiway merge, output already sorted.
-			h = h[:0]
-			for li := range bRows {
-				i := bRows[li]
-				if a.ColNNZ(i) == 0 {
-					continue
-				}
-				start := a.ColPtr[i]
-				h.push(heapEntry{row: a.RowIdx[start], list: int32(li), ptr: start})
-			}
-			for len(h) > 0 {
-				e := h.pop()
-				row := e.row
-				var sum float64
-				first := true
-				for {
-					i := bRows[e.list]
-					var prod float64
-					if plusTimes {
-						prod = a.Val[e.ptr] * bVals[e.list]
-					} else {
-						prod = sr.Mul(a.Val[e.ptr], bVals[e.list])
-					}
-					if first {
-						sum, first = prod, false
-					} else if plusTimes {
-						sum += prod
-					} else {
-						sum = sr.Add(sum, prod)
-					}
-					if next := e.ptr + 1; next < a.ColPtr[i+1] {
-						h.push(heapEntry{row: a.RowIdx[next], list: e.list, ptr: next})
-					}
-					if len(h) == 0 || h[0].row != row {
-						break
-					}
-					e = h.pop()
-				}
-				c.RowIdx = append(c.RowIdx, row)
-				c.Val = append(c.Val, sum)
-			}
+			c.RowIdx, c.Val = heapMulColumn(&h, a, bRows, bVals, sr, plusTimes, c.RowIdx, c.Val)
 		} else {
 			// Hash path, followed by the per-column sort the hybrid kernel
 			// always performed.
@@ -90,23 +51,7 @@ func HybridSpGEMM(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
 			} else {
 				acc.reset()
 			}
-			if plusTimes {
-				for p := range bRows {
-					i, bv := bRows[p], bVals[p]
-					aRows, aVals := a.Column(i)
-					for q := range aRows {
-						acc.addPlus(aRows[q], aVals[q]*bv)
-					}
-				}
-			} else {
-				for p := range bRows {
-					i, bv := bRows[p], bVals[p]
-					aRows, aVals := a.Column(i)
-					for q := range aRows {
-						acc.add(aRows[q], sr.Mul(aVals[q], bv), sr.Add)
-					}
-				}
-			}
+			hashAccumulateColumn(acc, a, bRows, bVals, sr, plusTimes)
 			lo := int64(len(c.RowIdx))
 			c.RowIdx, c.Val = acc.drainInto(c.RowIdx, c.Val)
 			sortColumnSlices(c.RowIdx[lo:], c.Val[lo:])

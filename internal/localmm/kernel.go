@@ -2,7 +2,6 @@ package localmm
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/semiring"
 	"repro/internal/spmat"
@@ -38,8 +37,17 @@ func (k Kernel) String() string {
 	}
 }
 
-// Func returns the kernel implementation.
-func (k Kernel) Func() func(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
+// Func returns the kernel entry point. The returned function multiplies with
+// threads worker goroutines via the two-phase plan of ParallelSpGEMM;
+// threads <= 1 is exactly the serial kernel.
+func (k Kernel) Func() func(a, b *spmat.CSC, sr *semiring.Semiring, threads int) *spmat.CSC {
+	return func(a, b *spmat.CSC, sr *semiring.Semiring, threads int) *spmat.CSC {
+		return ParallelSpGEMM(k, a, b, sr, threads)
+	}
+}
+
+// serial returns the single-threaded kernel implementation.
+func (k Kernel) serial() func(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
 	switch k {
 	case KernelHashUnsorted:
 		return HashSpGEMM
@@ -77,14 +85,22 @@ func (m Merger) String() string {
 	}
 }
 
-// Merge runs the selected merging algorithm. sortOutput only affects
-// MergerHash; the heap merge always emits sorted columns.
-func (m Merger) Merge(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool) *spmat.CSC {
+// Merge runs the selected merging algorithm with threads worker goroutines
+// (threads <= 1 is serial). sortOutput only affects MergerHash; the heap
+// merge always emits sorted columns.
+func (m Merger) Merge(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool, threads int) *spmat.CSC {
+	return ParallelMerge(m, mats, sr, sortOutput, threads)
+}
+
+// serial returns the single-threaded merge implementation.
+func (m Merger) serial() func(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool) *spmat.CSC {
 	switch m {
 	case MergerHash:
-		return HashMerge(mats, sr, sortOutput)
+		return HashMerge
 	case MergerHeap:
-		return HeapMerge(mats, sr)
+		return func(mats []*spmat.CSC, sr *semiring.Semiring, _ bool) *spmat.CSC {
+			return HeapMerge(mats, sr)
+		}
 	default:
 		panic("localmm: unknown merger " + m.String())
 	}
@@ -94,58 +110,4 @@ func (m Merger) Merge(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool)
 // hash kernel with sorted output.
 func Multiply(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
 	return HashSpGEMMSorted(a, b, sr)
-}
-
-// ParallelSpGEMM runs the given kernel with threads workers, each computing a
-// contiguous block of B's columns, and concatenates the partial results. It
-// models the paper's "multithreaded local multiplication" (16 threads per MPI
-// process on Cori-KNL).
-func ParallelSpGEMM(k Kernel, a, b *spmat.CSC, sr *semiring.Semiring, threads int) *spmat.CSC {
-	if threads <= 1 || b.Cols < 2 {
-		return k.Func()(a, b, sr)
-	}
-	if int32(threads) > b.Cols {
-		threads = int(b.Cols)
-	}
-	bounds := spmat.PartBounds(b.Cols, threads)
-	parts := make([]*spmat.CSC, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sub := spmat.ColRange(b, bounds[t], bounds[t+1])
-			parts[t] = k.Func()(a, sub, sr)
-		}(t)
-	}
-	wg.Wait()
-	return spmat.HCat(parts)
-}
-
-// ParallelMerge runs the selected merger with threads workers over contiguous
-// column blocks.
-func ParallelMerge(mg Merger, mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool, threads int) *spmat.CSC {
-	_, cols := checkMergeShapes(mats)
-	if threads <= 1 || cols < 2 {
-		return mg.Merge(mats, sr, sortOutput)
-	}
-	if int32(threads) > cols {
-		threads = int(cols)
-	}
-	bounds := spmat.PartBounds(cols, threads)
-	parts := make([]*spmat.CSC, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			subs := make([]*spmat.CSC, len(mats))
-			for i, m := range mats {
-				subs[i] = spmat.ColRange(m, bounds[t], bounds[t+1])
-			}
-			parts[t] = mg.Merge(subs, sr, sortOutput)
-		}(t)
-	}
-	wg.Wait()
-	return spmat.HCat(parts)
 }

@@ -54,7 +54,7 @@ func TestKernelsMatchDenseReference(t *testing.T) {
 	want := denseMultiply(a, b)
 	sr := semiring.PlusTimes()
 	for _, k := range allKernels {
-		got := k.Func()(a, b, sr)
+		got := k.Func()(a, b, sr, 1)
 		got.DropZeros()
 		if !spmat.Equal(got, want) {
 			t.Errorf("kernel %v: wrong product", k)
@@ -82,7 +82,7 @@ func TestKernelsAgreeOnUnsortedInputs(t *testing.T) {
 	ua.SortedCols = false
 	want := Multiply(a, b, semiring.PlusTimes())
 	for _, k := range allKernels {
-		got := k.Func()(ua, b, semiring.PlusTimes())
+		got := k.Func()(ua, b, semiring.PlusTimes(), 1)
 		if !spmat.Equal(got, want) {
 			t.Errorf("kernel %v: unsorted input changed result", k)
 		}
@@ -97,7 +97,7 @@ func TestSortednessContracts(t *testing.T) {
 		t.Error("unsorted-hash must report unsorted columns")
 	}
 	for _, k := range []Kernel{KernelHashSorted, KernelHeap, KernelHybrid} {
-		c := k.Func()(a, b, sr)
+		c := k.Func()(a, b, sr, 1)
 		if !c.SortedCols {
 			t.Errorf("kernel %v must produce sorted columns", k)
 		}
@@ -112,7 +112,7 @@ func TestKernelsEmptyOperands(t *testing.T) {
 	a := spmat.New(10, 5)
 	b := spmat.New(5, 8)
 	for _, k := range allKernels {
-		c := k.Func()(a, b, sr)
+		c := k.Func()(a, b, sr, 1)
 		if c.NNZ() != 0 || c.Rows != 10 || c.Cols != 8 {
 			t.Errorf("kernel %v: empty product wrong: %v", k, c)
 		}
@@ -124,10 +124,10 @@ func TestKernelsIdentity(t *testing.T) {
 	id := spmat.Identity(20)
 	sr := semiring.PlusTimes()
 	for _, k := range allKernels {
-		if got := k.Func()(m, id, sr); !spmat.Equal(got, m) {
+		if got := k.Func()(m, id, sr, 1); !spmat.Equal(got, m) {
 			t.Errorf("kernel %v: M·I ≠ M", k)
 		}
-		if got := k.Func()(id, m, sr); !spmat.Equal(got, m) {
+		if got := k.Func()(id, m, sr, 1); !spmat.Equal(got, m) {
 			t.Errorf("kernel %v: I·M ≠ M", k)
 		}
 	}
@@ -178,7 +178,7 @@ func TestKernelsAgreeProperty(t *testing.T) {
 		b := randomMat(t, k, n, rng.Intn(100), seed+2)
 		ref := HeapSpGEMM(a, b, sr)
 		for _, kn := range allKernels {
-			if !spmat.Equal(kn.Func()(a, b, sr), ref) {
+			if !spmat.Equal(kn.Func()(a, b, sr, 1), ref) {
 				return false
 			}
 		}

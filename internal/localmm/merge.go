@@ -57,18 +57,7 @@ func HashMerge(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool) *spmat
 		} else {
 			acc.reset()
 		}
-		for _, m := range mats {
-			rws, vls := m.Column(j)
-			if plusTimes {
-				for p := range rws {
-					acc.addPlus(rws[p], vls[p])
-				}
-			} else {
-				for p := range rws {
-					acc.add(rws[p], vls[p], sr.Add)
-				}
-			}
-		}
+		hashAccumulateMergeColumn(acc, mats, j, sr, plusTimes)
 		lo := int64(len(c.RowIdx))
 		c.RowIdx, c.Val = acc.drainInto(c.RowIdx, c.Val)
 		if sortOutput {
@@ -78,6 +67,23 @@ func HashMerge(mats []*spmat.CSC, sr *semiring.Semiring, sortOutput bool) *spmat
 	}
 	c.SortedCols = sortOutput
 	return c
+}
+
+// hashAccumulateMergeColumn feeds column j of every operand into acc: the
+// shared inner loop of HashMerge and the parallel hash merge.
+func hashAccumulateMergeColumn(acc *hashAccum, mats []*spmat.CSC, j int32, sr *semiring.Semiring, plusTimes bool) {
+	for _, m := range mats {
+		rws, vls := m.Column(j)
+		if plusTimes {
+			for p := range rws {
+				acc.addPlus(rws[p], vls[p])
+			}
+		} else {
+			for p := range rws {
+				acc.add(rws[p], vls[p], sr.Add)
+			}
+		}
+	}
 }
 
 // HeapMerge adds a collection of same-shaped matrices entry-wise with a
@@ -106,40 +112,7 @@ func HeapMerge(mats []*spmat.CSC, sr *semiring.Semiring) *spmat.CSC {
 	plusTimes := sr.IsPlusTimes()
 	var h rowHeap
 	for j := int32(0); j < cols; j++ {
-		h = h[:0]
-		for mi, m := range sorted {
-			if m.ColNNZ(j) == 0 {
-				continue
-			}
-			start := m.ColPtr[j]
-			h.push(heapEntry{row: m.RowIdx[start], list: int32(mi), ptr: start})
-		}
-		for len(h) > 0 {
-			e := h.pop()
-			row := e.row
-			var acc float64
-			first := true
-			for {
-				m := sorted[e.list]
-				v := m.Val[e.ptr]
-				if first {
-					acc, first = v, false
-				} else if plusTimes {
-					acc += v
-				} else {
-					acc = sr.Add(acc, v)
-				}
-				if next := e.ptr + 1; next < m.ColPtr[j+1] {
-					h.push(heapEntry{row: m.RowIdx[next], list: e.list, ptr: next})
-				}
-				if len(h) == 0 || h[0].row != row {
-					break
-				}
-				e = h.pop()
-			}
-			c.RowIdx = append(c.RowIdx, row)
-			c.Val = append(c.Val, acc)
-		}
+		c.RowIdx, c.Val = heapMergeColumn(&h, sorted, j, sr, plusTimes, c.RowIdx, c.Val)
 		c.ColPtr[j+1] = int64(len(c.RowIdx))
 	}
 	return c

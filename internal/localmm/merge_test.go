@@ -81,7 +81,7 @@ func TestMergeEmptyMatrices(t *testing.T) {
 	sr := semiring.PlusTimes()
 	mats := []*spmat.CSC{spmat.New(5, 5), spmat.New(5, 5)}
 	for _, mg := range []Merger{MergerHash, MergerHeap} {
-		got := mg.Merge(mats, sr, true)
+		got := mg.Merge(mats, sr, true, 1)
 		if got.NNZ() != 0 {
 			t.Errorf("%v: merge of empties has %d nnz", mg, got.NNZ())
 		}
@@ -110,7 +110,7 @@ func TestMergeDeduplicates(t *testing.T) {
 	other, _ := spmat.FromTriples(3, 1, []spmat.Triple{{Row: 1, Col: 0, Val: 4}}, nil)
 	sr := semiring.PlusTimes()
 	for _, mg := range []Merger{MergerHash, MergerHeap} {
-		got := mg.Merge([]*spmat.CSC{dup, other}, sr, true)
+		got := mg.Merge([]*spmat.CSC{dup, other}, sr, true, 1)
 		if got.At(1, 0) != 9 || got.At(0, 0) != 1 {
 			t.Errorf("%v: duplicates mishandled: (1,0)=%v (0,0)=%v", mg, got.At(1, 0), got.At(0, 0))
 		}
@@ -159,7 +159,7 @@ func TestMergeMinPlus(t *testing.T) {
 	a, _ := spmat.FromTriples(2, 1, []spmat.Triple{{Row: 0, Col: 0, Val: 5}}, nil)
 	b, _ := spmat.FromTriples(2, 1, []spmat.Triple{{Row: 0, Col: 0, Val: 3}, {Row: 1, Col: 0, Val: 7}}, nil)
 	for _, mg := range []Merger{MergerHash, MergerHeap} {
-		got := mg.Merge([]*spmat.CSC{a, b}, sr, true)
+		got := mg.Merge([]*spmat.CSC{a, b}, sr, true, 1)
 		if got.At(0, 0) != 3 || got.At(1, 0) != 7 {
 			t.Errorf("%v: min-plus merge wrong: %v %v", mg, got.At(0, 0), got.At(1, 0))
 		}

@@ -1,0 +1,58 @@
+package localmm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/spmat"
+)
+
+// TestParallelKernelsRace drives every parallel kernel and merger at high
+// thread counts, including several ParallelSpGEMM calls racing each other the
+// way concurrent SUMMA ranks do, so `go test -race ./internal/localmm`
+// exercises the worker pool, the shared output arrays, and the read-only
+// operand sharing. Guarded by -short so the default suite stays fast.
+func TestParallelKernelsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workout skipped in -short mode")
+	}
+	sr := semiring.PlusTimes()
+	a := randomMat(t, 300, 300, 4000, 31)
+	b := randomMat(t, 300, 300, 4000, 32)
+	want := Multiply(a, b, sr)
+
+	for _, k := range allKernels {
+		got := ParallelSpGEMM(k, a, b, sr, 8)
+		if !spmat.Equal(got, want) {
+			t.Errorf("kernel %v: wrong parallel product", k)
+		}
+	}
+
+	mats := []*spmat.CSC{
+		HashSpGEMM(a, b, sr),
+		HashSpGEMM(b, a, sr),
+		HashSpGEMM(a, a, sr),
+	}
+	for _, mg := range []Merger{MergerHash, MergerHeap} {
+		if got := mg.Merge(mats, sr, true, 8); got.NNZ() == 0 {
+			t.Errorf("merger %v: empty parallel merge", mg)
+		}
+	}
+
+	// Concurrent multiplies over the same operands: ranks inside one
+	// simulated MPI job share nothing but read-only inputs and the pooled
+	// worker state.
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := ParallelSpGEMM(KernelHashUnsorted, a, b, sr, 4)
+			if !spmat.Equal(got, want) {
+				t.Error("concurrent parallel multiply diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -77,10 +77,19 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 		if err != nil {
 			return nil, err
 		}
+		if r64 < 0 || c64 < 0 || nnz < 0 {
+			return nil, fmt.Errorf("spmat: negative size line %q", line)
+		}
 		rows, cols = int32(r64), int32(c64)
 		break
 	}
-	ts := make([]Triple, 0, nnz)
+	// The declared nnz is only a capacity hint; cap it so a hostile header
+	// cannot force a huge allocation before any entry is parsed.
+	capHint := nnz
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	ts := make([]Triple, 0, capHint)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
