@@ -1,34 +1,58 @@
 # Development entry points. `make build test` is the tier-1 gate;
-# `make race` is the concurrency gate for the multithreaded local kernels.
+# `make race` is the concurrency gate for the multithreaded local kernels
+# and the pipelined SUMMA schedule; `make ci` chains everything CI runs.
+# Every target is a one-liner over the standard Go toolchain — no extra
+# tools required.
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench fuzz ci
+.PHONY: all build test race vet doc bench fuzz ci
 
+# all: the tier-1 gate (build + test), the default target.
 all: build test
 
+# build: compile every package and command.
 build:
 	$(GO) build ./...
 
+# test: the full unit/differential/metering test suite (tier 1 with build).
 test:
 	$(GO) test ./...
 
-# Race gate: the packages that run goroutines (simulated ranks in mpi/core,
-# worker threads in localmm) under the race detector, race workouts included.
+# race: the packages that run goroutines (simulated ranks in mpi/core,
+# worker threads in localmm) under the race detector, race workouts
+# included — the multithreaded kernels AND the Pipeline=true broadcast
+# prefetch paths (TestPipelinedSUMMARace) are exercised here.
 race:
 	$(GO) test -race ./internal/localmm ./internal/core ./internal/mpi
 
+# vet: static analysis over every package.
 vet:
 	$(GO) vet ./...
 
+# doc: documentation hygiene gate — every file must be gofmt-clean (a
+# non-empty `gofmt -l` listing fails the target) and pass go vet, whose
+# analyzers check doc-comment conventions alongside correctness. Run it
+# after editing package comments or doc.go files.
+doc:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# bench: every root-level benchmark (per-figure experiment runs plus the
+# kernel, merge-strategy, thread-sweep, and staged-vs-pipelined ablations),
+# without running tests.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Bounded fuzz pass over the Matrix Market reader (seed corpus in
+# fuzz: bounded fuzz pass over the Matrix Market reader (seed corpus in
 # internal/spmat/testdata/fuzz). Override FUZZTIME for longer local runs,
 # e.g. `make fuzz FUZZTIME=5m`.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMatrixMarket -fuzztime=$(FUZZTIME) ./internal/spmat
 
+# ci: what the GitHub Actions workflow runs on every push and pull request.
 ci: build vet test race

@@ -8,6 +8,7 @@
 //	spgemm-bench -exp all -scale small     # the full evaluation
 //	spgemm-bench -exp fig13 -machine haswell
 //	spgemm-bench -exp fig6 -threads 8         # multithreaded local kernels
+//	spgemm-bench -exp fig6 -pipeline          # overlap broadcasts with compute
 //
 // Scales: tiny (seconds), small (default), large (minutes).
 package main
@@ -24,11 +25,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "list", "experiment id (fig3..fig15, table2..table7), 'all', or 'list'")
-		scale   = flag.String("scale", "small", "workload scale: tiny | small | large")
-		machine = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
-		threads = flag.Int("threads", 1, "worker goroutines per rank in local multiply/merge kernels (1 = serial, the published figure shapes)")
-		verbose = flag.Bool("v", false, "verbose output")
+		exp      = flag.String("exp", "list", "experiment id (fig3..fig15, table2..table7), 'all', or 'list'")
+		scale    = flag.String("scale", "small", "workload scale: tiny | small | large")
+		machine  = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
+		threads  = flag.Int("threads", 1, "worker goroutines per rank in local multiply/merge kernels (1 = serial, the published figure shapes)")
+		pipeline = flag.Bool("pipeline", false, "overlap stage broadcasts with local compute (prefetch stage s+1 while stage s multiplies; off = the paper's staged schedule)")
+		verbose  = flag.Bool("v", false, "verbose output")
 	)
 	flag.Parse()
 
@@ -48,7 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Verbose: *verbose}
+	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Verbose: *verbose}
 
 	var list []*experiments.Experiment
 	if *exp == "all" {

@@ -1,0 +1,40 @@
+// Package core implements the paper's algorithms: 2D sparse SUMMA (Alg 1),
+// 3D sparse SUMMA (Alg 2), the distributed symbolic batch-count estimator
+// (Alg 3), and the integrated communication-avoiding, memory-constrained
+// BATCHEDSUMMA3D (Alg 4) with a per-batch application hook.
+//
+// Every rank executes inside the simulated MPI runtime; the seven step
+// categories the paper reports (Symbolic, A-Broadcast, B-Broadcast,
+// Local-Multiply, Merge-Layer, AllToAll-Fiber, Merge-Fiber) are metered per
+// rank: measured wall time for computation, α–β modeled time and exact byte
+// counts for communication.
+//
+// # Execution structure
+//
+// A distributed multiply is launched from the host by Multiply (or
+// MultiplyDiscard) with a RunConfig; each simulated rank builds its grid
+// coordinates (grid.New), extracts its operand pieces (Setup), and calls
+// BatchedSUMMA3D collectively. Inside, Symbolic3D picks the batch count b
+// from the memory budget, and each batch runs the per-layer stage loop
+// (forEachStage → summa2D), the fiber AllToAll, and the fiber merge
+// (summa3DBatch).
+//
+// # Schedules
+//
+// The stage loop supports two schedules, selected by Options.Pipeline:
+//
+//   - Staged (default): stage s's A- and B-broadcasts complete before its
+//     local multiply starts — the paper's schedule, metered byte-identically
+//     to the published figures.
+//   - Pipelined: stage s+1's broadcasts are posted (mpi.IbcastStart) before
+//     stage s's multiply, so their modeled cost can hide behind measured
+//     compute. The hidden share is charged to the *-Hidden categories
+//     (StepABcastHidden, StepBBcastHidden, StepSymbolicHidden), the exposed
+//     remainder to the paper's steps. Outputs are bit-identical in both
+//     schedules; only the accounting differs.
+//
+// Options.Threads additionally parallelizes each rank's local multiply,
+// merge, and symbolic kernels (localmm's two-phase plan) inside the rank's
+// compute-measurement token, mirroring the paper's 16-threads-per-process
+// configuration.
+package core

@@ -41,3 +41,30 @@ func TestBatchedSUMMA3DWithThreadsRace(t *testing.T) {
 		t.Error("heap kernel/merger with threads: distributed result differs")
 	}
 }
+
+// TestPipelinedSUMMARace layers the broadcast/compute pipeline on top of
+// rank concurrency and intra-rank worker threads, with the symbolic step
+// (and its parallel LOCALSYMBOLIC) in the loop — the full concurrency stack
+// under the race detector. Guarded by -short like the other workout.
+func TestPipelinedSUMMARace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workout skipped in -short mode")
+	}
+	a := randomMat(t, 64, 64, 600, 43)
+	b := randomMat(t, 64, 64, 600, 44)
+	want := localmm.Multiply(a, b, semiring.PlusTimes())
+	for _, cfg := range []struct{ p, l, b, threads int }{
+		{4, 1, 2, 1},
+		{8, 2, 2, 4},
+		{16, 4, 3, 8},
+	} {
+		got, _, _ := runDistributed(t, cfg.p, cfg.l, a, b, Options{
+			ForceBatches: cfg.b, RunSymbolic: true,
+			Threads: cfg.threads, Pipeline: true,
+		}, nil)
+		if !spmat.Equal(got, want) {
+			t.Errorf("p=%d l=%d b=%d threads=%d pipelined: result differs from serial",
+				cfg.p, cfg.l, cfg.b, cfg.threads)
+		}
+	}
+}

@@ -6,45 +6,105 @@ import (
 	"repro/internal/spmat"
 )
 
-// summa2DStage runs the two broadcasts and the local multiply of one SUMMA
-// stage (Alg 1 lines 5–7) for the given batch piece of B, returning the
-// stage's partial product and charging flop counts to res.
-func (p *Proc) summa2DStage(s int, bBatch *spmat.CSC, res *Result) *spmat.CSC {
-	g := p.G
-	meter := g.World.Meter()
+// stageBcasts is the pair of in-flight broadcasts feeding one SUMMA stage —
+// the double buffer of the pipelined schedule. Posting stage s+1 while stage
+// s computes keeps two stages' operands live at once; the serial schedule
+// posts and waits in lockstep so only one pair is ever outstanding.
+type stageBcasts struct {
+	a, b *mpi.BcastRequest
+}
 
-	// A-Broadcast along the process row: root is the rank at column s.
-	meter.SetCategory(StepABcast)
+// postStageBcasts posts stage s's A-broadcast along the process row and its
+// B-broadcast along the process column (Alg 1 lines 5–6) without charging
+// the meter; cost attribution happens when the stage is consumed
+// (waitStageBcasts). bOperand is this rank's B piece to contribute when it
+// is the column root (the batch piece for SUMMA, the full local B for the
+// symbolic pass).
+func (p *Proc) postStageBcasts(s int, bOperand *spmat.CSC) stageBcasts {
+	g := p.G
 	var aMsg mpi.Payload
 	if g.J == s {
 		aMsg = p.LocalA
 	}
-	aRecv := g.Row.Bcast(s, aMsg).(*spmat.CSC)
-
-	// B-Broadcast along the process column: root is the rank at row s.
-	meter.SetCategory(StepBBcast)
 	var bMsg mpi.Payload
 	if g.I == s {
-		bMsg = bBatch
+		bMsg = bOperand
 	}
-	bRecv := g.Col.Bcast(s, bMsg).(*spmat.CSC)
+	return stageBcasts{a: g.Row.IbcastStart(s, aMsg), b: g.Col.IbcastStart(s, bMsg)}
+}
 
-	stageFlops := localmm.Flops(aRecv, bRecv)
-	res.LocalFlops += stageFlops
+// waitStageBcasts completes a stage's broadcasts and returns its operands.
+// credit is the measured compute seconds that ran since the stage was
+// posted (zero in the serial schedule): the share of the modeled broadcast
+// cost it covers is charged to the hidden categories, the exposed remainder
+// to aCat/bCat. The two broadcasts drain one shared credit pool — a stage's
+// compute window can only hide that much communication, no matter how it is
+// split between A and B.
+func (p *Proc) waitStageBcasts(sb stageBcasts, credit float64, aCat, aHidden, bCat, bHidden string) (aRecv, bRecv *spmat.CSC) {
+	meter := p.G.World.Meter()
+	meter.SetCategory(aCat)
+	aPay, used := sb.a.WaitOverlap(credit, aHidden)
+	meter.SetCategory(bCat)
+	bPay, _ := sb.b.WaitOverlap(credit-used, bHidden)
+	return aPay.(*spmat.CSC), bPay.(*spmat.CSC)
+}
 
-	// Local multiply (Alg 1 line 7). Work units = flops plus the operand
-	// traversal cost, so empty products still carry their column-scan work.
-	// With Opts.Threads > 1 the kernel's workers all run inside this rank's
-	// MeasureCompute token: the single-token gate still serializes ranks, so
-	// intra-rank parallelism appears as shorter measured compute, exactly the
-	// paper's 16-threads-per-process configuration.
-	meter.SetCategory(StepLocalMult)
-	var prod *spmat.CSC
-	sec := mpi.MeasureCompute(func() {
-		prod = p.kernelFn()(aRecv, bRecv)
-	})
-	meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
-	return prod
+// forEachStage runs the q broadcast+multiply stages of Alg 1 over bBatch,
+// invoking consume with every stage's partial product. consume returns any
+// additional measured compute seconds it spent (e.g. an incremental merge),
+// which join the multiply time as overlap credit for the next stage's
+// broadcasts.
+//
+// With Opts.Pipeline the loop prefetches: stage s+1's broadcasts are posted
+// before stage s's multiply starts, so their modeled cost can hide behind
+// the measured compute of stage s. Without it, each stage posts and
+// immediately waits, metering exactly the paper's staged schedule (an
+// IbcastStart + Wait pair charges identically to the blocking Bcast).
+func (p *Proc) forEachStage(bBatch *spmat.CSC, res *Result, consume func(prod *spmat.CSC) float64) {
+	g := p.G
+	meter := g.World.Meter()
+	stages := g.Q
+	pipe := p.Opts.Pipeline
+
+	var next stageBcasts
+	if pipe {
+		next = p.postStageBcasts(0, bBatch)
+	}
+	var credit float64
+	for s := 0; s < stages; s++ {
+		cur := next
+		if !pipe {
+			cur = p.postStageBcasts(s, bBatch)
+		}
+		aRecv, bRecv := p.waitStageBcasts(cur, credit, StepABcast, StepABcastHidden, StepBBcast, StepBBcastHidden)
+		if pipe && s+1 < stages {
+			next = p.postStageBcasts(s+1, bBatch)
+		}
+
+		stageFlops := localmm.Flops(aRecv, bRecv)
+		res.LocalFlops += stageFlops
+
+		// Local multiply (Alg 1 line 7). Work units = flops plus the operand
+		// traversal cost, so empty products still carry their column-scan
+		// work. With Opts.Threads > 1 the kernel's workers all run inside
+		// this rank's MeasureCompute token: the single-token gate still
+		// serializes ranks, so intra-rank parallelism appears as shorter
+		// measured compute, exactly the paper's 16-threads-per-process
+		// configuration.
+		meter.SetCategory(StepLocalMult)
+		var prod *spmat.CSC
+		sec := mpi.MeasureCompute(func() {
+			prod = p.kernelFn()(aRecv, bRecv)
+		})
+		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
+		extra := consume(prod)
+		if pipe {
+			// Only the pipelined schedule earns overlap credit: in the
+			// serial schedule no compute runs between a stage's post and
+			// wait, so the next stage's broadcasts are fully exposed.
+			credit = sec + extra
+		}
+	}
 }
 
 // summa2D executes Alg 1 on this rank's layer for one batch piece of B:
@@ -58,14 +118,13 @@ func (p *Proc) summa2D(bBatch *spmat.CSC, res *Result) *spmat.CSC {
 	}
 	g := p.G
 	meter := g.World.Meter()
-	stages := g.Q
-	partial := make([]*spmat.CSC, 0, stages)
+	partial := make([]*spmat.CSC, 0, g.Q)
 	var unmerged int64
-	for s := 0; s < stages; s++ {
-		prod := p.summa2DStage(s, bBatch, res)
+	p.forEachStage(bBatch, res, func(prod *spmat.CSC) float64 {
 		partial = append(partial, prod)
 		unmerged += prod.NNZ()
-	}
+		return 0
+	})
 	res.UnmergedNNZ += unmerged
 	// Peak: inputs plus all unmerged stage products live simultaneously.
 	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged)
@@ -85,19 +144,19 @@ func (p *Proc) summa2D(bBatch *spmat.CSC, res *Result) *spmat.CSC {
 
 // summa2DIncremental is the merge-per-stage variant: after each stage the
 // product is merged into the accumulator, so at most one stage product and
-// the accumulator are live simultaneously.
+// the accumulator are live simultaneously. The per-stage merge time joins
+// the overlap credit: in pipelined mode the next stage's broadcasts hide
+// behind multiply and merge alike.
 func (p *Proc) summa2DIncremental(bBatch *spmat.CSC, res *Result) *spmat.CSC {
 	g := p.G
 	meter := g.World.Meter()
-	stages := g.Q
 	var acc *spmat.CSC
-	for s := 0; s < stages; s++ {
-		prod := p.summa2DStage(s, bBatch, res)
+	p.forEachStage(bBatch, res, func(prod *spmat.CSC) float64 {
 		res.UnmergedNNZ += prod.NNZ()
 		if acc == nil {
 			acc = prod
 			p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+acc.NNZ())
-			continue
+			return 0
 		}
 		meter.SetCategory(StepMergeLayer)
 		work := acc.NNZ() + prod.NNZ()
@@ -109,7 +168,8 @@ func (p *Proc) summa2DIncremental(bBatch *spmat.CSC, res *Result) *spmat.CSC {
 		})
 		meter.AddComputeWork(sec, work+1)
 		acc = merged
-	}
+		return sec
+	})
 	if acc == nil {
 		acc = spmat.New(p.LocalA.Rows, bBatch.Cols)
 	}

@@ -174,3 +174,29 @@ func TestRenderAlignment(t *testing.T) {
 		t.Errorf("header misrendered: %q", header)
 	}
 }
+
+// TestExperimentsRunPipelined exercises the RunOpts.Pipeline wiring end to
+// end: a broadcast-bound figure and a symbolic-step figure must run under
+// the pipelined schedule and still produce their tables — the schedule
+// changes metering attribution, never results.
+func TestExperimentsRunPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	for _, id := range []string{"fig5", "fig8"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := tinyOpts()
+		opts.Pipeline = true
+		opts.Threads = 2
+		rep, err := e.Run(opts)
+		if err != nil {
+			t.Fatalf("%s pipelined: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Fatalf("%s pipelined: no output", id)
+		}
+	}
+}

@@ -17,12 +17,15 @@ const coresPerProc = 16
 // coresLabel formats a process count as the paper's core-count axis label.
 func coresLabel(p int) string { return fmt.Sprintf("%d", p*coresPerProc) }
 
-// coreOpts applies the run-wide knobs of RunOpts (currently the intra-rank
-// thread count) to a per-experiment core.Options literal; explicit settings
-// in the literal win.
+// coreOpts applies the run-wide knobs of RunOpts (the intra-rank thread
+// count and the broadcast/compute pipeline) to a per-experiment core.Options
+// literal; explicit settings in the literal win.
 func (o RunOpts) coreOpts(c core.Options) core.Options {
 	if c.Threads == 0 {
 		c.Threads = o.Threads
+	}
+	if o.Pipeline {
+		c.Pipeline = true
 	}
 	return c
 }
@@ -78,6 +81,7 @@ func applyMachine(s *mpi.Summary, m costmodel.Machine) {
 	for _, st := range s.Steps {
 		st.ComputeSeconds *= m.ComputeScale
 		st.CommSeconds *= m.CommScale
+		st.HiddenSeconds *= m.CommScale
 	}
 }
 

@@ -47,6 +47,10 @@ type RunOpts struct {
 	// kernels (core.Options.Threads). 0 or 1 keeps the kernels serial, the
 	// configuration all published figure shapes use.
 	Threads int
+	// Pipeline overlaps stage broadcasts with local compute
+	// (core.Options.Pipeline). Off keeps the published figure shapes — the
+	// strictly staged schedule — byte-identical.
+	Pipeline bool
 	// Verbose experiments may add extra tables.
 	Verbose bool
 }

@@ -1,0 +1,45 @@
+// Package localmm implements the in-process SpGEMM and merging kernels used
+// by every SUMMA stage. It contains both generations the paper compares:
+//
+//   - "previous": heap-based column SpGEMM and heap-based merging, which keep
+//     every intermediate sorted (Azad et al. [13]), and the hybrid heap/hash
+//     kernel of Nagasaka et al. [25] that sorts each output column;
+//   - "new" (Sec. IV-D): sort-free hash SpGEMM and sort-free hash merging,
+//     which leave intermediates unsorted and defer all sorting to the final
+//     Merge-Fiber.
+//
+// All kernels are column-Gustavson: C(:,j) = Σ_{i : B(i,j)≠0} A(:,i)·B(i,j),
+// and all accept an arbitrary semiring.
+//
+// # Symbolic kernels
+//
+// SymbolicSpGEMM (and its threaded form ParallelSymbolicSpGEMM) is the
+// LOCALSYMBOLIC routine of Alg 3: it counts nnz(A·B) without touching
+// values, using a generation-stamped dense array when the row space permits
+// and a hash set otherwise. The distributed symbolic step builds the batch
+// count decision from these counts, so they must be exact, not estimates —
+// Flops, ColFlops, and CompressionFactor supply the companion statistics.
+//
+// # Multithreading
+//
+// Every kernel and merger also has a multithreaded form (ParallelSpGEMM,
+// ParallelMerge, ParallelSymbolicSpGEMM, and the threads argument of
+// Kernel.Func and Merger.Merge), mirroring the paper's
+// 16-threads-per-process Cori-KNL configuration. The parallel plan is
+// two-phase: a parallel symbolic pass computes the exact nonzero count of
+// every output column, the output is allocated once from the prefix sum of
+// those counts, and a parallel numeric pass fills each column in place.
+// Workers own contiguous column ranges balanced by flop count (not column
+// count), reuse pooled accumulator state across columns and calls, and
+// never synchronize during the numeric pass because every column lands in a
+// disjoint slice of the shared output.
+//
+// threads <= 1 runs the serial kernels unchanged, which is the default for
+// all metered experiments: rank goroutines are already concurrent, and the
+// mpi compute-token gate means parallel workers — when enabled — run inside
+// a rank's measured compute section, shortening measured time without
+// perturbing the communication model. Results are independent of the thread
+// count: each output column is computed by one worker in serial operand
+// order, so even float64 accumulation is bit-identical to the serial kernel
+// (entry order within unsorted columns aside).
+package localmm

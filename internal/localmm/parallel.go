@@ -169,21 +169,7 @@ func ParallelSpGEMM(k Kernel, a, b *spmat.CSC, sr *semiring.Semiring, threads in
 	bounds := flopBounds(colFlops, threads)
 
 	// Phase 1: exact per-column output sizes.
-	colNNZ := make([]int64, b.Cols)
-	runWorkers(bounds, func(w *mmWorker, lo, hi int32) {
-		for j := lo; j < hi; j++ {
-			if colFlops[j] == 0 {
-				continue
-			}
-			set := w.setFor(colFlops[j])
-			for _, i := range b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]] {
-				for _, r := range a.RowIdx[a.ColPtr[i]:a.ColPtr[i+1]] {
-					set.insert(r)
-				}
-			}
-			colNNZ[j] = int64(len(set.occupied))
-		}
-	})
+	colNNZ := parallelColNNZ(a, b, colFlops, bounds)
 
 	// Exact single allocation.
 	c := &spmat.CSC{
@@ -226,6 +212,50 @@ func ParallelSpGEMM(k Kernel, a, b *spmat.CSC, sr *semiring.Semiring, threads in
 		}
 	})
 	return c
+}
+
+// ParallelSymbolicSpGEMM computes nnz(A·B) without forming the product —
+// LOCALSYMBOLIC of Alg 3 — using threads worker goroutines. It is the
+// symbolic phase of ParallelSpGEMM run standalone: workers own contiguous
+// flop-balanced column ranges and count distinct output rows per column with
+// pooled row sets, so the count equals SymbolicSpGEMM's for any thread
+// count. threads <= 1 (or a trivially small B) runs the serial routine.
+func ParallelSymbolicSpGEMM(a, b *spmat.CSC, threads int) int64 {
+	threads = clampThreads(threads, b.Cols)
+	if threads <= 1 || b.Cols < 2 {
+		return SymbolicSpGEMM(a, b)
+	}
+	checkMulShapes(a, b)
+	colFlops := mulColFlops(a, b)
+	var total int64
+	for _, n := range parallelColNNZ(a, b, colFlops, flopBounds(colFlops, threads)) {
+		total += n
+	}
+	return total
+}
+
+// parallelColNNZ is the symbolic pass shared by ParallelSpGEMM (phase 1)
+// and ParallelSymbolicSpGEMM: exact distinct-row counts for every output
+// column of A·B, computed by pooled workers over flop-balanced column
+// ranges. ParallelSpGEMM sizes its single output allocation from these
+// counts, so they must be exact, never estimates.
+func parallelColNNZ(a, b *spmat.CSC, colFlops []int64, bounds []int32) []int64 {
+	colNNZ := make([]int64, b.Cols)
+	runWorkers(bounds, func(w *mmWorker, lo, hi int32) {
+		for j := lo; j < hi; j++ {
+			if colFlops[j] == 0 {
+				continue
+			}
+			set := w.setFor(colFlops[j])
+			for _, i := range b.RowIdx[b.ColPtr[j]:b.ColPtr[j+1]] {
+				for _, r := range a.RowIdx[a.ColPtr[i]:a.ColPtr[i+1]] {
+					set.insert(r)
+				}
+			}
+			colNNZ[j] = int64(len(set.occupied))
+		}
+	})
+	return colNNZ
 }
 
 // heapMulColumn computes one output column with the multiway heap merge

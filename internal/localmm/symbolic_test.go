@@ -1,6 +1,7 @@
 package localmm
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -155,5 +156,51 @@ func BenchmarkSymbolicHashSet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		symbolicHashed(a, a)
+	}
+}
+
+// TestParallelSymbolicMatchesSerial: the threaded LOCALSYMBOLIC must count
+// exactly what the serial routine counts for any thread count, including
+// thread counts exceeding the column count.
+func TestParallelSymbolicMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		rows, cols int32
+		nnz        int
+		seed       int64
+	}{
+		{60, 60, 400, 51},
+		{200, 120, 2500, 52},
+		{500, 17, 3000, 53}, // few, heavy columns: exercises flop balancing
+		{40, 1, 80, 54},     // single column: clamps to serial
+	} {
+		a := randomMat(t, tc.rows, tc.rows, tc.nnz, tc.seed)
+		b := randomMat(t, tc.rows, tc.cols, tc.nnz, tc.seed+100)
+		want := SymbolicSpGEMM(a, b)
+		for _, threads := range []int{1, 2, 3, 4, 8, 64} {
+			if got := ParallelSymbolicSpGEMM(a, b, threads); got != want {
+				t.Errorf("%dx%d nnz=%d threads=%d: got %d, want %d",
+					tc.rows, tc.cols, tc.nnz, threads, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelSymbolicEmpty covers the empty-operand edge the stage loop can
+// produce on small grids.
+func TestParallelSymbolicEmpty(t *testing.T) {
+	a := randomMat(t, 20, 20, 50, 55)
+	if got := ParallelSymbolicSpGEMM(a, spmat.New(20, 7), 4); got != 0 {
+		t.Errorf("empty B: nnz=%d", got)
+	}
+}
+
+func BenchmarkSymbolicParallel(b *testing.B) {
+	a := randomMat(b, 2048, 2048, 40000, 37)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelSymbolicSpGEMM(a, a, threads)
+			}
+		})
 	}
 }

@@ -1,0 +1,38 @@
+// Package mpi is an in-process stand-in for the message-passing runtime the
+// paper runs on. Every rank is a goroutine; communicators support the
+// collectives the SUMMA algorithms need (Barrier, Bcast, Allgather,
+// AllToAllv, Allreduce) plus MPI_Comm_split-style sub-communicators for
+// process rows, columns, layers, and fibers.
+//
+// Data really moves between ranks (receivers observe the sender's payload),
+// so the distributed algorithms are exercised end to end. Because the
+// transport is shared memory, the wall-clock of a collective is meaningless
+// for the paper's scale; instead every collective *meters* itself: it records
+// the bytes on the wire and charges an α–β modeled time (latency/bandwidth
+// constants supplied by the caller) to each participating rank. The paper's
+// own communication analysis (Table II) is in the same α–β model.
+//
+// # Metering
+//
+// Each rank owns a Meter that accumulates, per caller-chosen category (the
+// paper's step names), modeled communication seconds, exact payload bytes
+// and message counts, and measured compute seconds. MeasureCompute is a
+// global single-token gate: the rank holding it computes effectively alone
+// on the host, so its wall time is clean even with hundreds of rank
+// goroutines; intra-rank worker threads run inside the token. Summarize
+// aggregates per-rank meters into the critical-path numbers the paper plots
+// (per-step maxima over ranks, work-smoothed compute).
+//
+// # Non-blocking broadcast
+//
+// IbcastStart/BcastRequest.Wait split a broadcast into a post and a
+// completion, the building block of the pipelined SUMMA schedule. The
+// payload exchange happens eagerly at post time, but the modeled cost is
+// charged at wait time — to the category current at the wait, with
+// WaitOverlap optionally diverting the share that hid behind intervening
+// compute into a separate "hidden" category. A post immediately followed by
+// Wait meters identically to the blocking Bcast.
+//
+// All collectives (posts included) are bulk-synchronous and must be called
+// by every rank of a communicator in the same order.
+package mpi

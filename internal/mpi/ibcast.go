@@ -1,0 +1,94 @@
+package mpi
+
+// This file implements the split (non-blocking) broadcast the pipelined SUMMA
+// schedule needs: IbcastStart posts the collective and performs the data
+// movement, Wait/WaitOverlap complete it and charge the meter. The split
+// mirrors MPI_Ibcast/MPI_Wait with the metering convention real codes
+// observe: the time an Ibcast costs the caller is the time spent *waiting*
+// for it, not the time spent posting it. Nothing is charged at post time;
+// the modeled α–β cost is charged when the request is completed, to whatever
+// category the meter points at then.
+//
+// Because the simulated transport is shared memory, the payload exchange
+// itself completes eagerly inside IbcastStart (MPI implementations are free
+// to progress a nonblocking collective at any point between post and wait).
+// The barriers that order the exchange therefore run at post time, which is
+// what lets a pipelined caller post stage s+1, compute stage s, and then
+// complete stage s+1 without any rank blocking inside another rank's compute
+// section.
+
+// BcastRequest is an in-flight non-blocking broadcast posted with
+// IbcastStart. Exactly one of Wait or WaitOverlap must be called, by the
+// same rank goroutine that posted it.
+type BcastRequest struct {
+	meter   *Meter
+	payload Payload
+	bytes   int64
+	cost    float64
+	done    bool
+}
+
+// IbcastStart posts a broadcast of root's payload without charging the
+// meter. All ranks of the communicator must post collectively and in the
+// same order (as with every collective here); the returned request holds the
+// broadcast payload and its modeled cost until Wait or WaitOverlap claims
+// them.
+func (c *Comm) IbcastStart(root int, msg Payload) *BcastRequest {
+	if root < 0 || root >= c.size {
+		panic("mpi: IbcastStart root out of range")
+	}
+	if c.rank == root {
+		c.core.slots[root] = msg
+	}
+	c.Barrier()
+	out, _ := c.core.slots[root].(Payload)
+	c.Barrier()
+	var n int64
+	if out != nil {
+		n = out.CommBytes()
+	}
+	return &BcastRequest{
+		meter:   c.meter,
+		payload: out,
+		bytes:   n,
+		cost:    c.cost.BcastCost(c.size, n),
+	}
+}
+
+// Wait completes the request: the full modeled cost and the payload bytes
+// are charged to the meter's current category — the wait-time attribution —
+// and the broadcast payload is returned. A Bcast and an IbcastStart
+// immediately followed by Wait meter identically.
+func (r *BcastRequest) Wait() Payload {
+	p, _ := r.WaitOverlap(0, "")
+	return p
+}
+
+// WaitOverlap completes the request like Wait but treats up to credit
+// seconds of the modeled cost as hidden behind work the rank performed
+// between post and wait: the hidden share is charged to hiddenCat's
+// HiddenSeconds — kept out of exposed comm and critical-path totals, since
+// it ran concurrently with compute that is already counted there — while
+// messages and bytes always stay with the primary category so volume
+// accounting is mode-independent. Only the exposed remainder is charged to
+// the meter's current category. It returns the payload and the credit
+// actually consumed, so a caller completing several requests against one
+// compute window can drain a shared credit pool.
+func (r *BcastRequest) WaitOverlap(credit float64, hiddenCat string) (Payload, float64) {
+	if r.done {
+		panic("mpi: BcastRequest completed twice")
+	}
+	r.done = true
+	hidden := credit
+	if hidden > r.cost {
+		hidden = r.cost
+	}
+	if hidden < 0 {
+		hidden = 0
+	}
+	r.meter.addComm(1, r.bytes, r.cost-hidden)
+	if hidden > 0 && hiddenCat != "" {
+		r.meter.get(hiddenCat).HiddenSeconds += hidden
+	}
+	return r.payload, hidden
+}

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIbcastDeliversPayload checks the split broadcast moves the root's
+// payload to every rank, exactly like the blocking Bcast.
+func TestIbcastDeliversPayload(t *testing.T) {
+	const p = 4
+	Run(p, CostModel{AlphaSec: 1e-6, BetaSecPerByte: 1e-9}, func(c *Comm) {
+		var msg Payload
+		if c.Rank() == 2 {
+			msg = Bytes(321)
+		}
+		req := c.IbcastStart(2, msg)
+		got := req.Wait()
+		if got.(Bytes) != 321 {
+			t.Errorf("rank %d: got %v, want 321", c.Rank(), got)
+		}
+	})
+}
+
+// TestIbcastWaitMetersLikeBcast: an IbcastStart immediately followed by Wait
+// must charge messages, bytes, and modeled seconds identically to Bcast —
+// the serial SUMMA schedule relies on this to stay byte-identical.
+func TestIbcastWaitMetersLikeBcast(t *testing.T) {
+	cm := CostModel{AlphaSec: 3e-6, BetaSecPerByte: 2e-9}
+	const p = 8
+	run := func(split bool) []*Meter {
+		return Run(p, cm, func(c *Comm) {
+			c.Meter().SetCategory("step")
+			var msg Payload
+			if c.Rank() == 0 {
+				msg = Bytes(4096)
+			}
+			if split {
+				c.IbcastStart(0, msg).Wait()
+			} else {
+				c.Bcast(0, msg)
+			}
+		})
+	}
+	blocking, nonblocking := run(false), run(true)
+	for r := range blocking {
+		want, got := blocking[r].Step("step"), nonblocking[r].Step("step")
+		if want != got {
+			t.Errorf("rank %d: Ibcast+Wait metered %+v, Bcast %+v", r, got, want)
+		}
+	}
+}
+
+// TestIbcastWaitOverlapSplitsCost: credit moves cost into the hidden
+// category without changing the total, byte, or message accounting.
+func TestIbcastWaitOverlapSplitsCost(t *testing.T) {
+	cm := CostModel{AlphaSec: 1e-3, BetaSecPerByte: 1e-6}
+	const p = 4
+	n := int64(1000)
+	full := cm.BcastCost(p, n)
+	for _, tc := range []struct {
+		name           string
+		credit         float64
+		wantHidden     float64
+		wantCreditUsed float64
+	}{
+		{"no credit", 0, 0, 0},
+		{"partial credit", full / 2, full / 2, full / 2},
+		{"surplus credit", 2 * full, full, full},
+		{"negative credit", -1, 0, 0},
+	} {
+		meters := Run(p, cm, func(c *Comm) {
+			c.Meter().SetCategory("exposed")
+			var msg Payload
+			if c.Rank() == 0 {
+				msg = Bytes(n)
+			}
+			req := c.IbcastStart(0, msg)
+			_, used := req.WaitOverlap(tc.credit, "hidden")
+			if math.Abs(used-tc.wantCreditUsed) > 1e-12 {
+				t.Errorf("%s: rank %d consumed credit %v, want %v", tc.name, c.Rank(), used, tc.wantCreditUsed)
+			}
+		})
+		for r, m := range meters {
+			exp, hid := m.Step("exposed"), m.Step("hidden")
+			if math.Abs(exp.CommSeconds+hid.HiddenSeconds-full) > 1e-12 {
+				t.Errorf("%s: rank %d exposed %v + hidden %v != cost %v",
+					tc.name, r, exp.CommSeconds, hid.HiddenSeconds, full)
+			}
+			if math.Abs(hid.HiddenSeconds-tc.wantHidden) > 1e-12 {
+				t.Errorf("%s: rank %d hidden %v, want %v", tc.name, r, hid.HiddenSeconds, tc.wantHidden)
+			}
+			// Volume accounting always stays with the primary category.
+			if exp.Messages != 1 || exp.Bytes != n || hid.Messages != 0 || hid.Bytes != 0 {
+				t.Errorf("%s: rank %d volume misattributed: exposed %+v hidden %+v", tc.name, r, exp, hid)
+			}
+			// Hidden time overlapped compute, so only the exposed share may
+			// reach the rank's critical-path total.
+			if got := m.TotalSeconds(); math.Abs(got-exp.CommSeconds) > 1e-12 {
+				t.Errorf("%s: rank %d TotalSeconds %v counts hidden time (exposed %v)",
+					tc.name, r, got, exp.CommSeconds)
+			}
+		}
+		sum := Summarize(meters)
+		if got := sum.CriticalPathSeconds; math.Abs(got-(full-tc.wantHidden)) > 1e-12 {
+			t.Errorf("%s: critical path %v, want exposed %v", tc.name, got, full-tc.wantHidden)
+		}
+		if got := sum.Step("hidden").HiddenSeconds; math.Abs(got-tc.wantHidden) > 1e-12 {
+			t.Errorf("%s: summarized hidden %v, want %v", tc.name, got, tc.wantHidden)
+		}
+	}
+}
+
+// TestIbcastPrefetch posts the next broadcast before consuming the current
+// one on two independent sub-communicators — the double-buffered schedule
+// the pipelined SUMMA runs — and checks both payloads arrive intact.
+func TestIbcastPrefetch(t *testing.T) {
+	const p = 4
+	Run(p, CostModel{}, func(c *Comm) {
+		var r0, r1 Payload
+		if c.Rank() == 0 {
+			r0 = Bytes(10)
+		}
+		if c.Rank() == 1 {
+			r1 = Bytes(20)
+		}
+		cur := c.IbcastStart(0, r0)
+		next := c.IbcastStart(1, r1) // posted before cur is consumed
+		if got := cur.Wait().(Bytes); got != 10 {
+			t.Errorf("rank %d: stage 0 payload %v, want 10", c.Rank(), got)
+		}
+		if got := next.Wait().(Bytes); got != 20 {
+			t.Errorf("rank %d: stage 1 payload %v, want 20", c.Rank(), got)
+		}
+	})
+}
+
+// TestIbcastDoubleWaitPanics: completing a request twice is a bug in the
+// caller's schedule and must not silently double-charge the meter.
+func TestIbcastDoubleWaitPanics(t *testing.T) {
+	Run(1, CostModel{}, func(c *Comm) {
+		req := c.IbcastStart(0, Bytes(1))
+		req.Wait()
+		defer func() {
+			if recover() == nil {
+				t.Error("second Wait did not panic")
+			}
+		}()
+		req.Wait()
+	})
+}

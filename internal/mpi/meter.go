@@ -44,8 +44,15 @@ type StepStats struct {
 	// the payload bytes attributed to it.
 	Messages int64
 	Bytes    int64
-	// CommSeconds is the α–β modeled communication time.
+	// CommSeconds is the α–β modeled communication time this rank was
+	// exposed to (blocked on).
 	CommSeconds float64
+	// HiddenSeconds is modeled communication time that overlapped with
+	// measured compute (a pipelined schedule's BcastRequest.WaitOverlap
+	// credit). It is excluded from Total and from critical-path sums —
+	// hidden time is by definition concurrent with compute already counted
+	// there — but kept per category so overlap stays auditable.
+	HiddenSeconds float64
 	// ComputeSeconds is measured wall time of local computation.
 	ComputeSeconds float64
 	// WorkUnits counts the abstract work (flops for multiplies, nonzeros
@@ -57,13 +64,15 @@ type StepStats struct {
 	WorkUnits int64
 }
 
-// Total returns modeled comm plus measured compute seconds.
+// Total returns exposed modeled comm plus measured compute seconds (hidden
+// comm excluded; it overlapped the compute counted here).
 func (s *StepStats) Total() float64 { return s.CommSeconds + s.ComputeSeconds }
 
 func (s *StepStats) add(o *StepStats) {
 	s.Messages += o.Messages
 	s.Bytes += o.Bytes
 	s.CommSeconds += o.CommSeconds
+	s.HiddenSeconds += o.HiddenSeconds
 	s.ComputeSeconds += o.ComputeSeconds
 }
 
@@ -155,6 +164,7 @@ func (m *Meter) TotalSeconds() float64 {
 func (m *Meter) Scale(f float64) {
 	for _, s := range m.stats {
 		s.CommSeconds *= f
+		s.HiddenSeconds *= f
 		s.ComputeSeconds *= f
 	}
 }
@@ -170,6 +180,7 @@ func (m *Meter) ScaleCompute(f float64) {
 func (m *Meter) ScaleComm(f float64) {
 	for _, s := range m.stats {
 		s.CommSeconds *= f
+		s.HiddenSeconds *= f
 	}
 }
 
@@ -234,6 +245,9 @@ func Summarize(meters []*Meter) *Summary {
 			agg.WorkUnits += s.WorkUnits
 			if s.CommSeconds > agg.CommSeconds {
 				agg.CommSeconds = s.CommSeconds
+			}
+			if s.HiddenSeconds > agg.HiddenSeconds {
+				agg.HiddenSeconds = s.HiddenSeconds
 			}
 			sc := smoothed(cat, s)
 			if sc > agg.ComputeSeconds {

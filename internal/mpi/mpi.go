@@ -1,16 +1,3 @@
-// Package mpi is an in-process stand-in for the message-passing runtime the
-// paper runs on. Every rank is a goroutine; communicators support the
-// collectives the SUMMA algorithms need (Barrier, Bcast, Allgather,
-// AllToAllv, Allreduce) plus MPI_Comm_split-style sub-communicators for
-// process rows, columns, layers, and fibers.
-//
-// Data really moves between ranks (receivers observe the sender's payload),
-// so the distributed algorithms are exercised end to end. Because the
-// transport is shared memory, the wall-clock of a collective is meaningless
-// for the paper's scale; instead every collective *meters* itself: it records
-// the bytes on the wire and charges an α–β modeled time (latency/bandwidth
-// constants supplied by the caller) to each participating rank. The paper's
-// own communication analysis (Table II) is in the same α–β model.
 package mpi
 
 import (

@@ -1,13 +1,3 @@
-// Package spmat provides the sparse matrix representations and operations
-// used by every layer of the batched SUMMA3D stack: compressed sparse column
-// (CSC) storage with an explicit sorted/unsorted flag, coordinate triples,
-// splitting and concatenation primitives that implement the paper's layer and
-// batch decompositions (Fig 1), and Matrix Market I/O.
-//
-// The column orientation mirrors the paper: local multiplies, merges, and
-// batching all operate column-by-column, and the "sort-free" optimization of
-// Sec. IV-D is expressed here as CSC matrices whose columns are allowed to
-// hold row indices in arbitrary order (SortedCols == false).
 package spmat
 
 import (

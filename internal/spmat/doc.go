@@ -1,0 +1,30 @@
+// Package spmat provides the sparse matrix representations and operations
+// used by every layer of the batched SUMMA3D stack: compressed sparse column
+// (CSC) storage with an explicit sorted/unsorted flag, coordinate triples,
+// splitting and concatenation primitives that implement the paper's layer and
+// batch decompositions (Fig 1), and Matrix Market I/O.
+//
+// The column orientation mirrors the paper: local multiplies, merges, and
+// batching all operate column-by-column, and the "sort-free" optimization of
+// Sec. IV-D is expressed here as CSC matrices whose columns are allowed to
+// hold row indices in arbitrary order (SortedCols == false).
+//
+// # Construction and comparison
+//
+// Matrices are built from coordinate Triples (FromTriples, accumulating
+// duplicates through a semiring's add), generated (Identity), or parsed from
+// Matrix Market streams (ReadMatrixMarket, hardened against hostile size
+// lines, with a fuzz harness and checked-in corpus under testdata/fuzz). Equal compares structurally independent of
+// within-column entry order — the comparison the sort-free kernels need —
+// while ApproxEqual tolerates the summation-order differences distributed
+// floating-point multiplies legitimately produce.
+//
+// # Distribution primitives
+//
+// PartBounds, ColRange/RowRange, ColSelect, HCat/VCat, and the cyclic
+// split helpers carve matrices into the block rows, block columns, layer
+// slices, and block-cyclic batches of Fig 1, and reassemble piece outputs;
+// CommBytes
+// makes *CSC an mpi.Payload so pieces can ride the simulated collectives
+// with exact wire-size accounting.
+package spmat

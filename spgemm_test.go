@@ -316,3 +316,32 @@ func TestFacadeMultiSourceBFS(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadePipelined(t *testing.T) {
+	a := spgemm.RandomProteinNetwork(7, 6, 2)
+	cluster := spgemm.NewCluster(16, 4)
+	staged, sStats, err := cluster.Multiply(a, a, spgemm.Options{Batches: 2, MeasureSymbolic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, pStats, err := cluster.Multiply(a, a, spgemm.Options{Batches: 2, MeasureSymbolic: true, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipelining reorders only broadcast posting, never the arithmetic, so
+	// the outputs are bit-identical (Equal, not EqualApprox).
+	if !spgemm.Equal(staged, piped) {
+		t.Error("pipelined result differs from staged")
+	}
+	if sStats.HiddenCommSeconds != 0 {
+		t.Errorf("staged run hid comm: %v", sStats.HiddenCommSeconds)
+	}
+	if pStats.HiddenCommSeconds <= 0 {
+		t.Error("pipelined run hid no comm time")
+	}
+	for _, step := range spgemm.StepNames() {
+		if pStats.Steps[step].Bytes != sStats.Steps[step].Bytes {
+			t.Errorf("%s: bytes moved changed under pipelining", step)
+		}
+	}
+}
