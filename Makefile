@@ -1,13 +1,15 @@
 # Development entry points. `make build test` is the tier-1 gate;
 # `make race` is the concurrency gate for the multithreaded local kernels
-# and the pipelined SUMMA schedule; `make ci` chains everything CI runs.
+# and the pipelined SUMMA schedule; `make ci` chains everything CI runs on
+# every push; `make perfgate` is the nightly perf-regression gate.
 # Every target is a one-liner over the standard Go toolchain — no extra
 # tools required.
 
 GO ?= go
 FUZZTIME ?= 30s
+GATE_TOL ?= 0.05
 
-.PHONY: all build test race vet doc bench fuzz ci
+.PHONY: all build test race vet doc bench fuzz perfgate baseline ci
 
 # all: the tier-1 gate (build + test), the default target.
 all: build test
@@ -50,9 +52,25 @@ bench:
 
 # fuzz: bounded fuzz pass over the Matrix Market reader (seed corpus in
 # internal/spmat/testdata/fuzz). Override FUZZTIME for longer local runs,
-# e.g. `make fuzz FUZZTIME=5m`.
+# e.g. `make fuzz FUZZTIME=5m`. The default 30s bound is what `make ci` runs.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMatrixMarket -fuzztime=$(FUZZTIME) ./internal/spmat
 
-# ci: what the GitHub Actions workflow runs on every push and pull request.
-ci: build vet test race
+# perfgate: the performance-regression gate the nightly workflow enforces.
+# Runs pinned fig-6/8 shapes, emits BENCH_pr3.json, and fails when any gated
+# shape's modeled critical-path seconds exceed the checked-in baseline
+# (BENCH_baseline.json) by more than GATE_TOL. The gated metrics are fully
+# modeled (α–β comm + work units at a pinned rate), so the comparison is
+# machine-independent and deterministic.
+perfgate:
+	$(GO) run ./cmd/spgemm-bench -gate -json BENCH_pr3.json -baseline BENCH_baseline.json -tol $(GATE_TOL)
+
+# baseline: regenerate the checked-in perf-gate baseline after an intentional
+# performance change. Review the diff before committing it.
+baseline:
+	$(GO) run ./cmd/spgemm-bench -gate -json BENCH_baseline.json
+
+# ci: what the GitHub Actions workflow runs on every push and pull request —
+# build, static analysis, gofmt hygiene (doc), the full test suite, the race
+# gate, and a bounded (30s) fuzz pass.
+ci: build vet doc test race fuzz

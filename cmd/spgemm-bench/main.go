@@ -1,5 +1,6 @@
 // Command spgemm-bench regenerates the tables and figures of the paper's
-// evaluation section on the simulated cluster.
+// evaluation section on the simulated cluster, and runs the deterministic
+// performance-regression gate CI uses.
 //
 // Usage:
 //
@@ -8,12 +9,19 @@
 //	spgemm-bench -exp all -scale small     # the full evaluation
 //	spgemm-bench -exp fig13 -machine haswell
 //	spgemm-bench -exp fig6 -threads 8         # multithreaded local kernels
-//	spgemm-bench -exp fig6 -pipeline          # overlap broadcasts with compute
+//	spgemm-bench -exp fig6 -pipeline          # fully-overlapped schedule
+//	spgemm-bench -exp pipeline                # staged-vs-overlapped ablation
+//
+//	spgemm-bench -gate -json BENCH_pr3.json                            # emit the stats dump
+//	spgemm-bench -gate -json BENCH_pr3.json -baseline BENCH_baseline.json
+//	    # additionally compare: exit 1 if modeled critical-path seconds
+//	    # regress more than -tol (default 5%) vs the checked-in baseline
 //
 // Scales: tiny (seconds), small (default), large (minutes).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,14 +33,23 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "list", "experiment id (fig3..fig15, table2..table7), 'all', or 'list'")
+		exp      = flag.String("exp", "list", "experiment id (fig3..fig15, table2..table7, pipeline), 'all', or 'list'")
 		scale    = flag.String("scale", "small", "workload scale: tiny | small | large")
 		machine  = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
 		threads  = flag.Int("threads", 1, "worker goroutines per rank in local multiply/merge kernels (1 = serial, the published figure shapes)")
-		pipeline = flag.Bool("pipeline", false, "overlap stage broadcasts with local compute (prefetch stage s+1 while stage s multiplies; off = the paper's staged schedule)")
+		pipeline = flag.Bool("pipeline", false, "fully-overlapped schedule: prefetch stage broadcasts within and across batches and hide the fiber AllToAll behind Merge-Layer (off = the paper's staged schedule)")
+		gate     = flag.Bool("gate", false, "run the deterministic perf-regression gate on pinned fig-6/8 shapes instead of an experiment")
+		jsonPath = flag.String("json", "", "with -gate: write the stats dump (BENCH_pr3.json) to this path")
+		baseline = flag.String("baseline", "", "with -gate: compare against this checked-in baseline and exit nonzero on regression")
+		tol      = flag.Float64("tol", experiments.GateTolerance, "with -gate -baseline: relative regression tolerance on modeled critical-path seconds")
 		verbose  = flag.Bool("v", false, "verbose output")
 	)
 	flag.Parse()
+
+	if *gate {
+		runGate(*jsonPath, *baseline, *tol)
+		return
+	}
 
 	if *exp == "list" {
 		fmt.Println("available experiments:")
@@ -73,6 +90,53 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runGate executes the pinned shapes, optionally dumps the JSON report, and
+// optionally enforces the baseline comparison.
+func runGate(jsonPath, baselinePath string, tol float64) {
+	start := time.Now()
+	rep, err := experiments.RunGate()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("perf gate (pinned fig-6/8 shapes, %v):\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %-28s %6s  %14s  %12s  %12s  %10s\n",
+		"shape", "gated", "model s", "comm s", "hidden s", "MB moved")
+	for _, s := range rep.Shapes {
+		fmt.Printf("  %-28s %6v  %14.6g  %12.6g  %12.6g  %10.2f\n",
+			s.Name, s.Gated, s.ModelSeconds, s.CommSeconds, s.HiddenCommSeconds,
+			float64(s.Bytes)/1e6)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+		var base experiments.GateReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", baselinePath, err))
+		}
+		if bad := experiments.CompareGate(rep, &base, tol); len(bad) != 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "spgemm-bench: REGRESSION:", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("gate passed: no gated shape regressed more than %.0f%% vs %s\n", tol*100, baselinePath)
 	}
 }
 

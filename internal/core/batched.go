@@ -20,6 +20,7 @@ import (
 func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	g := p.G
 	res := &Result{RowOffset: p.DA.RowB[g.I]}
+	p.pipe = pipeState{}
 
 	// Decide the batch count (Alg 4 line 2).
 	b := p.Opts.ForceBatches
@@ -55,10 +56,29 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	c0, c1 := p.DB.ColRangeOf(g.J)
 	p.bt = distmat.NewBatching(c1-c0, b, g.L)
 
-	// Alg 4 lines 5–6: one 3D SUMMA per batch.
+	// Alg 4 lines 5–6: one 3D SUMMA per batch. With Opts.Pipeline the
+	// batch-piece extraction is hoisted one batch ahead of the multiply: the
+	// pipelined schedule posts batch t+1's first broadcasts during batch t's
+	// last stage, and the column roots need the extracted piece as the send
+	// buffer by then. The staged schedule keeps the old one-piece-at-a-time
+	// footprint and extracts lazily.
+	extract := func(t int) *spmat.CSC {
+		return spmat.ColSelect(p.LocalB, p.bt.BatchCols(t))
+	}
 	pieces := make([]*spmat.CSC, 0, b)
+	bCur := extract(0)
 	for t := 0; t < b; t++ {
-		cPiece, offsets := p.summa3DBatch(t, res)
+		var bNext *spmat.CSC
+		if p.Opts.Pipeline && t+1 < b {
+			bNext = extract(t + 1)
+		}
+		cPiece, offsets := p.summa3DBatch(t, bCur, bNext, res)
+		switch {
+		case bNext != nil:
+			bCur = bNext
+		case t+1 < b:
+			bCur = extract(t + 1)
+		}
 		res.BatchNNZ = append(res.BatchNNZ, cPiece.NNZ())
 		globalCols := make([]int32, len(offsets))
 		for x, o := range offsets {

@@ -24,14 +24,21 @@
 // The stage loop supports two schedules, selected by Options.Pipeline:
 //
 //   - Staged (default): stage s's A- and B-broadcasts complete before its
-//     local multiply starts — the paper's schedule, metered byte-identically
-//     to the published figures.
-//   - Pipelined: stage s+1's broadcasts are posted (mpi.IbcastStart) before
-//     stage s's multiply, so their modeled cost can hide behind measured
-//     compute. The hidden share is charged to the *-Hidden categories
-//     (StepABcastHidden, StepBBcastHidden, StepSymbolicHidden), the exposed
-//     remainder to the paper's steps. Outputs are bit-identical in both
-//     schedules; only the accounting differs.
+//     local multiply starts, and the fiber AllToAll runs fully exposed — the
+//     paper's schedule, metered byte-identically to the published figures.
+//   - Fully overlapped: stage s+1's broadcasts are posted (mpi.IbcastStart)
+//     before stage s's multiply; the last stage of batch t posts batch t+1's
+//     stage-0 broadcasts (the batch piece is extracted one batch ahead by
+//     BatchedSUMMA3D) so the pipeline never drains at a batch boundary; and
+//     Merge-Layer is partitioned by destination layer so the fiber exchange
+//     (mpi.IalltoallvStart) completes while the own-layer share still runs.
+//     An overlap ledger (pipeline.go) converts measured compute between a
+//     collective's post and wait into hiding credit — each compute second
+//     hides at most one collective — and the hidden share is charged to the
+//     *-Hidden categories (StepABcastHidden, StepBBcastHidden,
+//     StepSymbolicHidden, StepAllToAllHidden), the exposed remainder to the
+//     paper's steps. Outputs are bit-identical in both schedules; only the
+//     accounting differs.
 //
 // Options.Threads additionally parallelizes each rank's local multiply,
 // merge, and symbolic kernels (localmm's two-phase plan) inside the rank's

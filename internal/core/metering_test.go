@@ -29,6 +29,32 @@ func TestAllStepsMetered(t *testing.T) {
 	}
 }
 
+// TestPackingChargedToMergeLayerNotAllToAll: the ColSplit packing that builds
+// the fiber-exchange send buffers is local work. It must be metered as
+// Merge-Layer compute, and the AllToAll-Fiber step must carry communication
+// only — the category switch happens at the exchange itself, in both the
+// staged and the overlapped schedule.
+func TestPackingChargedToMergeLayerNotAllToAll(t *testing.T) {
+	a := randomMat(t, 48, 48, 600, 49)
+	for _, pipeline := range []bool{false, true} {
+		_, _, sum := runDistributed(t, 16, 4, a, a, Options{ForceBatches: 2, Pipeline: pipeline}, nil)
+		if s := sum.Step(StepAllToAll); s.ComputeSeconds != 0 || s.WorkUnits != 0 {
+			t.Errorf("pipeline=%v: AllToAll-Fiber charged local compute: %+v", pipeline, s)
+		}
+		if s := sum.Step(StepMergeLayer); s.ComputeSeconds <= 0 {
+			t.Errorf("pipeline=%v: Merge-Layer (incl. packing) has no compute time", pipeline)
+		}
+		// The exchange itself must still be fully accounted for — exposed plus
+		// hidden (the overlapped schedule may hide all of it behind the
+		// own-layer merge, so exposed alone can be zero).
+		s := sum.Step(StepAllToAll)
+		total := s.CommSeconds + sum.Step(StepAllToAllHidden).HiddenSeconds
+		if total <= 0 || s.Messages == 0 {
+			t.Errorf("pipeline=%v: AllToAll-Fiber lost its communication: %+v", pipeline, s)
+		}
+	}
+}
+
 // Table II, row A-Broadcast: total bandwidth scales with b.
 func TestABcastVolumeScalesWithBatches(t *testing.T) {
 	a := randomMat(t, 64, 64, 700, 41)

@@ -31,10 +31,28 @@ const (
 	StepABcastHidden   = "A-Broadcast-Hidden"
 	StepBBcastHidden   = "B-Broadcast-Hidden"
 	StepSymbolicHidden = "Symbolic-Hidden"
+	StepAllToAllHidden = "AllToAll-Fiber-Hidden"
 )
 
 // HiddenSteps lists the overlap categories in presentation order.
-var HiddenSteps = []string{StepSymbolicHidden, StepABcastHidden, StepBBcastHidden}
+var HiddenSteps = []string{StepSymbolicHidden, StepABcastHidden, StepBBcastHidden, StepAllToAllHidden}
+
+// HiddenFor returns the hidden-overlap category paired with one of the
+// paper's steps, or "" for steps that are never overlapped (compute steps
+// hide communication; they are not hidden themselves).
+func HiddenFor(step string) string {
+	switch step {
+	case StepSymbolic:
+		return StepSymbolicHidden
+	case StepABcast:
+		return StepABcastHidden
+	case StepBBcast:
+		return StepBBcastHidden
+	case StepAllToAll:
+		return StepAllToAllHidden
+	}
+	return ""
+}
 
 // Steps lists the seven categories in the paper's presentation order.
 var Steps = []string{
@@ -72,14 +90,20 @@ type Options struct {
 	// MaxBatches caps the symbolic decision (0 = no cap beyond the number of
 	// columns).
 	MaxBatches int
-	// Pipeline overlaps communication with computation inside the SUMMA and
-	// symbolic stage loops: stage s+1's A- and B-broadcasts are posted
-	// (mpi.IbcastStart) before stage s's local multiply runs, so the modeled
-	// broadcast cost can hide behind measured compute. The share of each
-	// broadcast hidden this way is charged to the *-Hidden meter categories
-	// (StepABcastHidden, ...) instead of the paper's step; output values are
-	// bit-identical to the staged schedule. Default off, which meters the
-	// paper's strictly staged schedule byte-identically to previous releases.
+	// Pipeline overlaps communication with computation across the whole
+	// schedule. Within a batch, stage s+1's A- and B-broadcasts are posted
+	// (mpi.IbcastStart) before stage s's local multiply runs; across batch
+	// boundaries, the last stage of batch t posts batch t+1's first
+	// broadcasts so the pipeline never drains; and the fiber AllToAll is
+	// split (mpi.IalltoallvStart) and completed only after the own-layer
+	// share of Merge-Layer ran, hiding the exchange behind that merge. The
+	// share of each collective hidden this way is charged to the *-Hidden
+	// meter categories (StepABcastHidden, ...) instead of the paper's step;
+	// output values are bit-identical to the staged schedule. Default off,
+	// which meters the paper's strictly staged schedule with communication
+	// volume and modeled comm time byte-identical to previous releases (the
+	// ColSplit packing before the fiber exchange is now metered as
+	// Merge-Layer compute, so compute attribution gained that share).
 	Pipeline bool
 	// IncrementalMerge folds each SUMMA stage's product into a running
 	// accumulator instead of keeping all stage outputs and merging once

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// overlapLedger is the per-rank accounting that decides how much modeled
+// communication a split collective may hide behind measured compute. It
+// generalizes the per-stage credit pool of the within-batch pipeline to the
+// full schedule: requests are posted at arbitrary points (the next stage, the
+// next batch's first stage, the fiber exchange) and each compute second can
+// hide at most one request's communication.
+//
+// clock is the cumulative measured compute time of this rank; claimed is the
+// set of disjoint clock intervals already consumed as hiding credit. A
+// request posted when the clock read post may, at wait time, hide up to the
+// unclaimed measure of [post, clock): only compute that ran after the post
+// and was not already claimed by another outstanding request counts. Claims
+// consume the earliest unclaimed compute first, so a request completed out
+// of posting order (the fiber exchange waits before the prefetched next
+// batch's broadcasts) never swallows the window of an earlier-posted request
+// — interval accounting, not a single watermark, is what makes that hold.
+// With posts and waits back to back (the staged schedule) the credit is
+// always zero, so the ledger meters exactly like the blocking collectives.
+type overlapLedger struct {
+	clock   float64
+	claimed []span
+}
+
+// span is a half-open claimed interval [lo, hi) of the compute clock.
+type span struct{ lo, hi float64 }
+
+// advance records sec seconds of measured compute.
+func (l *overlapLedger) advance(sec float64) { l.clock += sec }
+
+// creditSince returns the unclaimed compute seconds in [post, clock).
+func (l *overlapLedger) creditSince(post float64) float64 {
+	c := l.clock - post
+	if c <= 0 {
+		return 0
+	}
+	for _, s := range l.claimed {
+		lo, hi := s.lo, s.hi
+		if lo < post {
+			lo = post
+		}
+		if hi > l.clock {
+			hi = l.clock
+		}
+		if hi > lo {
+			c -= hi - lo
+		}
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// claim consumes used seconds of unclaimed compute in [post, clock),
+// earliest first, so no other request can hide behind the same compute.
+func (l *overlapLedger) claim(post, used float64) {
+	if used <= 0 {
+		return
+	}
+	var add []span
+	pos := post
+	for _, s := range l.claimed {
+		if used <= 0 || pos >= l.clock {
+			break
+		}
+		if s.hi <= pos {
+			continue
+		}
+		if gapEnd := minf(s.lo, l.clock); gapEnd > pos {
+			take := minf(gapEnd-pos, used)
+			add = append(add, span{pos, pos + take})
+			used -= take
+			pos += take
+		}
+		if s.hi > pos {
+			pos = s.hi
+		}
+	}
+	if used > 0 && pos < l.clock {
+		take := minf(l.clock-pos, used)
+		add = append(add, span{pos, pos + take})
+	}
+	if len(add) == 0 {
+		return
+	}
+	l.claimed = append(l.claimed, add...)
+	sort.Slice(l.claimed, func(i, j int) bool { return l.claimed[i].lo < l.claimed[j].lo })
+	// Coalesce touching intervals so the list stays as short as the number of
+	// genuinely distinct claim regions (usually one or two).
+	merged := l.claimed[:1]
+	for _, s := range l.claimed[1:] {
+		if last := &merged[len(merged)-1]; s.lo <= last.hi {
+			if s.hi > last.hi {
+				last.hi = s.hi
+			}
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	l.claimed = merged
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pipeState is one rank's cross-batch pipeline state, reset at the start of
+// every BatchedSUMMA3D. Besides the ledger it carries the prefetched stage-0
+// broadcasts of the upcoming batch: the last SUMMA stage of batch t posts
+// batch t+1's first A/B broadcasts (Opts.Pipeline) so their cost can hide
+// behind everything that still runs in batch t — the final multiply, the
+// merges, and the fiber exchange.
+type pipeState struct {
+	ledger  overlapLedger
+	next    stageBcasts
+	hasNext bool
+}
+
+// measure runs fn under the global compute token and advances the overlap
+// ledger by its wall time, so split collectives posted before fn can claim it
+// as hiding credit. In the staged schedule the ledger advance is inert: posts
+// and waits are adjacent, so no request ever has a nonzero window.
+func (p *Proc) measure(fn func()) float64 {
+	sec := mpi.MeasureCompute(fn)
+	p.pipe.ledger.advance(sec)
+	return sec
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/distmat"
@@ -31,7 +32,9 @@ func TestPipelinedOutputBitIdentical(t *testing.T) {
 		{p: 8, l: 2, batches: 2, kernel: localmm.KernelHashUnsorted, merger: localmm.MergerHash},
 		{p: 16, l: 4, batches: 3, kernel: localmm.KernelHashUnsorted, merger: localmm.MergerHash},
 		{p: 8, l: 2, batches: 2, kernel: localmm.KernelHeap, merger: localmm.MergerHeap},
+		{p: 8, l: 2, batches: 3, kernel: localmm.KernelHashUnsorted, merger: localmm.MergerHeap},
 		{p: 9, l: 1, batches: 2, kernel: localmm.KernelHybrid, merger: localmm.MergerHash, incremental: true},
+		{p: 16, l: 4, batches: 2, kernel: localmm.KernelHashUnsorted, merger: localmm.MergerHash, incremental: true},
 		{p: 8, l: 2, batches: 2, kernel: localmm.KernelHashUnsorted, merger: localmm.MergerHash, threads: 4},
 	} {
 		name := fmt.Sprintf("p=%d,l=%d,b=%d,k=%v,inc=%v,t=%d",
@@ -88,6 +91,172 @@ func TestPipelineOverlapObservable(t *testing.T) {
 			t.Errorf("%s: volume changed under pipelining: %d B/%d msgs vs %d B/%d msgs",
 				cat, ps.Bytes, ps.Messages, ss.Bytes, ss.Messages)
 		}
+	}
+}
+
+// TestOverlapLedgerGapClaims: a request completed out of posting order — the
+// fiber exchange, posted late, waits before the prefetched next-batch
+// broadcasts, posted early — must not swallow the unclaimed compute window
+// of the earlier-posted request. The ledger claims earliest-first over
+// disjoint intervals; a single high-watermark would hand request 1 only the
+// tail and undercount hidden communication.
+func TestOverlapLedgerGapClaims(t *testing.T) {
+	approx := func(got, want float64) bool { return got > want-1e-12 && got < want+1e-12 }
+	var led overlapLedger
+	// Request 1 posts at clock 0; 1.0 s of compute runs.
+	led.advance(1.0)
+	post2 := led.clock // request 2 posts at clock 1.0; 0.5 s more compute.
+	led.advance(0.5)
+	// Request 2 waits first and hides 0.4 s — from its own window only.
+	if c := led.creditSince(post2); !approx(c, 0.5) {
+		t.Fatalf("request 2 credit %v, want 0.5", c)
+	}
+	led.claim(post2, 0.4)
+	// Request 1's window is [0, 1.5) minus the claimed [1.0, 1.4): 1.1 s.
+	// (A watermark ledger would report only 1.5 − 1.4 = 0.1 s.)
+	if c := led.creditSince(0); !approx(c, 1.1) {
+		t.Fatalf("request 1 credit %v, want 1.1", c)
+	}
+	led.claim(0, 1.1)
+	if c := led.creditSince(0); !approx(c, 0) {
+		t.Fatalf("credit %v after draining, want 0", c)
+	}
+	// Fresh compute is visible again, to any post.
+	led.advance(0.25)
+	if c := led.creditSince(0); !approx(c, 0.25) {
+		t.Fatalf("credit %v after new compute, want 0.25", c)
+	}
+	if c := led.creditSince(led.clock); c != 0 {
+		t.Fatalf("future post sees credit %v", c)
+	}
+}
+
+// runWithCost is runDistributed under a caller-chosen cost model.
+func runWithCost(t testing.TB, p, l int, cm mpi.CostModel, a, b *spmat.CSC, opts Options) (*spmat.CSC, *mpi.Summary) {
+	t.Helper()
+	results := make([]*Result, p)
+	var mu sync.Mutex
+	var firstErr error
+	meters := mpi.Run(p, cm, func(c *mpi.Comm) {
+		g, err := grid.New(c, l)
+		if err == nil {
+			var proc *Proc
+			proc, err = Setup(g, a, b, opts)
+			if err == nil {
+				var res *Result
+				res, err = proc.BatchedSUMMA3D(nil)
+				results[c.Rank()] = res
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		t.Fatalf("distributed run failed: %v", firstErr)
+	}
+	assembled, err := AssembleResults(results, a.Rows, b.Cols)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return assembled, mpi.Summarize(meters)
+}
+
+// TestFullPipelineHidesBatchBoundariesAndFiberExchange pins the
+// fully-overlapped schedule's hiding power exactly. Under a latency-only cost
+// model (β=0) every broadcast on a q=2 communicator costs exactly α and the
+// fiber exchange on l=2 layers costs exactly α per batch, while each hiding
+// window contains microseconds of measured compute — so every collective the
+// schedule can prefetch is hidden completely, and the exposed remainders are
+// predictable in closed form:
+//
+//   - A/B broadcasts: q·b = 6 requests per rank. Only batch 0's stage 0 is
+//     unprefetchable (nothing computes before it), so exposed = α and hidden
+//     = 5α. A within-batch-only pipeline (PR 2) would leave every batch's
+//     stage 0 exposed (3α) — this test is the differential proof of the
+//     cross-batch prefetch.
+//   - Fiber AllToAll: posted before the own-layer Merge-Layer share, so all
+//     b·(l−1)·α = 3α hides behind it and exposed = 0.
+func TestFullPipelineHidesBatchBoundariesAndFiberExchange(t *testing.T) {
+	const alpha = 1e-9
+	cm := mpi.CostModel{AlphaSec: alpha} // latency-only: every bcast costs α·lg q
+	const p, l, b = 8, 2, 3              // q = 2
+	a := randomMat(t, 64, 64, 1200, 75)
+	bm := randomMat(t, 64, 64, 1200, 76)
+
+	staged, sSum := runWithCost(t, p, l, cm, a, bm, Options{ForceBatches: b})
+	piped, pSum := runWithCost(t, p, l, cm, a, bm, Options{ForceBatches: b, Pipeline: true})
+	if !spmat.Equal(staged, piped) {
+		t.Fatal("fully-overlapped output differs from staged")
+	}
+
+	const tol = 1e-13
+	approx := func(got, want float64) bool { return got > want-tol && got < want+tol }
+	for _, tc := range []struct {
+		step, hiddenStep        string
+		wantStaged              float64
+		wantExposed, wantHidden float64
+	}{
+		{StepABcast, StepABcastHidden, 6 * alpha, alpha, 5 * alpha},
+		{StepBBcast, StepBBcastHidden, 6 * alpha, alpha, 5 * alpha},
+		{StepAllToAll, StepAllToAllHidden, 3 * alpha, 0, 3 * alpha},
+	} {
+		if got := sSum.Step(tc.step).CommSeconds; !approx(got, tc.wantStaged) {
+			t.Errorf("%s staged exposed %v, want %v", tc.step, got, tc.wantStaged)
+		}
+		if got := sSum.Step(tc.hiddenStep).HiddenSeconds; got != 0 {
+			t.Errorf("%s staged hid %v, want 0", tc.step, got)
+		}
+		if got := pSum.Step(tc.step).CommSeconds; !approx(got, tc.wantExposed) {
+			t.Errorf("%s overlapped exposed %v, want %v", tc.step, got, tc.wantExposed)
+		}
+		if got := pSum.Step(tc.hiddenStep).HiddenSeconds; !approx(got, tc.wantHidden) {
+			t.Errorf("%s overlapped hidden %v, want %v", tc.step, got, tc.wantHidden)
+		}
+		// Volume accounting is mode-independent: the overlapped schedule moves
+		// the same payloads (the AllToAll keeps its self piece local in both).
+		ss, ps := sSum.Step(tc.step), pSum.Step(tc.step)
+		if ss.Bytes != ps.Bytes || ss.Messages != ps.Messages {
+			t.Errorf("%s volume changed: staged %d B/%d msgs, overlapped %d B/%d msgs",
+				tc.step, ss.Bytes, ss.Messages, ps.Bytes, ps.Messages)
+		}
+	}
+}
+
+// TestNoHiddenWhenPipelineOff: the staged schedule must never charge any of
+// the hidden categories — including the new AllToAll-Fiber-Hidden — across
+// batching, layering, and the symbolic pass.
+func TestNoHiddenWhenPipelineOff(t *testing.T) {
+	a := randomMat(t, 48, 48, 600, 77)
+	_, _, sum := runDistributed(t, 16, 4, a, a, Options{ForceBatches: 3, RunSymbolic: true}, nil)
+	for _, cat := range HiddenSteps {
+		if s := sum.Step(cat); s.HiddenSeconds != 0 || s.CommSeconds != 0 || s.Bytes != 0 || s.Messages != 0 {
+			t.Errorf("staged run charged hidden category %s: %+v", cat, s)
+		}
+	}
+}
+
+// TestRowBatchedPipelinedMatchesStaged: the transposed (row-batched) driver
+// inherits the fully-overlapped schedule through core.Multiply; its output
+// must also be independent of the schedule.
+func TestRowBatchedPipelinedMatchesStaged(t *testing.T) {
+	a := randomMat(t, 48, 48, 900, 78)
+	b := randomMat(t, 48, 48, 300, 79)
+	run := func(pipeline bool) *spmat.CSC {
+		rc := RunConfig{P: 8, L: 2, Cost: testCM,
+			Opts: Options{ForceBatches: 2, Pipeline: pipeline}}
+		out, _, err := MultiplyRowBatched(a, b, rc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !spmat.Equal(run(false), run(true)) {
+		t.Error("row-batched pipelined output differs from staged")
 	}
 }
 

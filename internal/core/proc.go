@@ -24,6 +24,10 @@ type Proc struct {
 	// bt is the block-cyclic batching of this rank's B block column; set
 	// once b is known.
 	bt distmat.Batching
+
+	// pipe is the cross-batch pipeline state (overlap ledger plus the
+	// prefetched next-batch broadcasts), reset by every BatchedSUMMA3D.
+	pipe pipeState
 }
 
 // Setup distributes the global operands onto the grid: each rank extracts

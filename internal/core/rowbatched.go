@@ -15,6 +15,12 @@ import (
 // The hook, when not nil, receives each finished batch of Cᵀ; globalCols of
 // the transposed piece are global *rows* of C. The assembled result is
 // returned in the original orientation.
+//
+// Row batching composes with every schedule knob, including the
+// fully-overlapped one: with rc.Opts.Pipeline the transposed multiply
+// prefetches its broadcasts within and across row batches and hides the
+// fiber exchange behind Merge-Layer, exactly as the column-batched path does
+// (it *is* that path, on Bᵀ·Aᵀ). Output is independent of the schedule.
 func MultiplyRowBatched(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) (*spmat.CSC, []*Result, error) {
 	at := spmat.Transpose(a)
 	bt := spmat.Transpose(b)

@@ -9,9 +9,12 @@ import (
 // stageBcasts is the pair of in-flight broadcasts feeding one SUMMA stage —
 // the double buffer of the pipelined schedule. Posting stage s+1 while stage
 // s computes keeps two stages' operands live at once; the serial schedule
-// posts and waits in lockstep so only one pair is ever outstanding.
+// posts and waits in lockstep so only one pair is ever outstanding. post is
+// the overlap-ledger clock at post time: the wait may hide the broadcast
+// cost behind compute measured after it.
 type stageBcasts struct {
 	a, b *mpi.BcastRequest
+	post float64
 }
 
 // postStageBcasts posts stage s's A-broadcast along the process row and its
@@ -30,37 +33,48 @@ func (p *Proc) postStageBcasts(s int, bOperand *spmat.CSC) stageBcasts {
 	if g.I == s {
 		bMsg = bOperand
 	}
-	return stageBcasts{a: g.Row.IbcastStart(s, aMsg), b: g.Col.IbcastStart(s, bMsg)}
+	return stageBcasts{
+		a:    g.Row.IbcastStart(s, aMsg),
+		b:    g.Col.IbcastStart(s, bMsg),
+		post: p.pipe.ledger.clock,
+	}
 }
 
 // waitStageBcasts completes a stage's broadcasts and returns its operands.
-// credit is the measured compute seconds that ran since the stage was
-// posted (zero in the serial schedule): the share of the modeled broadcast
-// cost it covers is charged to the hidden categories, the exposed remainder
-// to aCat/bCat. The two broadcasts drain one shared credit pool — a stage's
-// compute window can only hide that much communication, no matter how it is
-// split between A and B.
-func (p *Proc) waitStageBcasts(sb stageBcasts, credit float64, aCat, aHidden, bCat, bHidden string) (aRecv, bRecv *spmat.CSC) {
+// The overlap ledger supplies the credit — the unclaimed compute seconds
+// measured since the stage was posted (zero in the serial schedule): the
+// share of the modeled broadcast cost it covers is charged to the hidden
+// categories, the exposed remainder to aCat/bCat. The two broadcasts drain
+// the same window — a stage's compute can only hide that much communication,
+// no matter how it is split between A and B.
+func (p *Proc) waitStageBcasts(sb stageBcasts, aCat, aHidden, bCat, bHidden string) (aRecv, bRecv *spmat.CSC) {
 	meter := p.G.World.Meter()
+	led := &p.pipe.ledger
 	meter.SetCategory(aCat)
-	aPay, used := sb.a.WaitOverlap(credit, aHidden)
+	aPay, used := sb.a.WaitOverlap(led.creditSince(sb.post), aHidden)
+	led.claim(sb.post, used)
 	meter.SetCategory(bCat)
-	bPay, _ := sb.b.WaitOverlap(credit-used, bHidden)
+	bPay, used := sb.b.WaitOverlap(led.creditSince(sb.post), bHidden)
+	led.claim(sb.post, used)
 	return aPay.(*spmat.CSC), bPay.(*spmat.CSC)
 }
 
 // forEachStage runs the q broadcast+multiply stages of Alg 1 over bBatch,
-// invoking consume with every stage's partial product. consume returns any
-// additional measured compute seconds it spent (e.g. an incremental merge),
-// which join the multiply time as overlap credit for the next stage's
-// broadcasts.
+// invoking consume with every stage's partial product. Merges inside consume
+// run through Proc.measure, so their time joins the multiply time as overlap
+// credit in the ledger.
 //
-// With Opts.Pipeline the loop prefetches: stage s+1's broadcasts are posted
-// before stage s's multiply starts, so their modeled cost can hide behind
-// the measured compute of stage s. Without it, each stage posts and
-// immediately waits, metering exactly the paper's staged schedule (an
-// IbcastStart + Wait pair charges identically to the blocking Bcast).
-func (p *Proc) forEachStage(bBatch *spmat.CSC, res *Result, consume func(prod *spmat.CSC) float64) {
+// With Opts.Pipeline the loop prefetches in two directions. Within the
+// batch, stage s+1's broadcasts are posted before stage s's multiply starts,
+// so their modeled cost can hide behind the measured compute of stage s.
+// Across batches, the last stage posts the NEXT batch's stage-0 broadcasts
+// (operand bNextBatch, extracted ahead of time by BatchedSUMMA3D) before its
+// own multiply, so even the batch boundary drains nothing: batch t+1's first
+// broadcasts hide behind batch t's final multiply, its merges, and its fiber
+// exchange. Without Pipeline, each stage posts and immediately waits,
+// metering exactly the paper's staged schedule (an IbcastStart + Wait pair
+// charges identically to the blocking Bcast).
+func (p *Proc) forEachStage(bBatch, bNextBatch *spmat.CSC, res *Result, consume func(prod *spmat.CSC)) {
 	g := p.G
 	meter := g.World.Meter()
 	stages := g.Q
@@ -68,17 +82,29 @@ func (p *Proc) forEachStage(bBatch *spmat.CSC, res *Result, consume func(prod *s
 
 	var next stageBcasts
 	if pipe {
-		next = p.postStageBcasts(0, bBatch)
+		if p.pipe.hasNext {
+			// Stage 0 was prefetched by the previous batch's last stage.
+			next = p.pipe.next
+			p.pipe.hasNext = false
+		} else {
+			next = p.postStageBcasts(0, bBatch)
+		}
 	}
-	var credit float64
 	for s := 0; s < stages; s++ {
 		cur := next
 		if !pipe {
 			cur = p.postStageBcasts(s, bBatch)
 		}
-		aRecv, bRecv := p.waitStageBcasts(cur, credit, StepABcast, StepABcastHidden, StepBBcast, StepBBcastHidden)
-		if pipe && s+1 < stages {
-			next = p.postStageBcasts(s+1, bBatch)
+		aRecv, bRecv := p.waitStageBcasts(cur, StepABcast, StepABcastHidden, StepBBcast, StepBBcastHidden)
+		if pipe {
+			if s+1 < stages {
+				next = p.postStageBcasts(s+1, bBatch)
+			} else if bNextBatch != nil {
+				// Cross-batch prefetch: post the next batch's stage-0
+				// broadcasts before this batch's final multiply.
+				p.pipe.next = p.postStageBcasts(0, bNextBatch)
+				p.pipe.hasNext = true
+			}
 		}
 
 		stageFlops := localmm.Flops(aRecv, bRecv)
@@ -93,18 +119,26 @@ func (p *Proc) forEachStage(bBatch *spmat.CSC, res *Result, consume func(prod *s
 		// configuration.
 		meter.SetCategory(StepLocalMult)
 		var prod *spmat.CSC
-		sec := mpi.MeasureCompute(func() {
+		sec := p.measure(func() {
 			prod = p.kernelFn()(aRecv, bRecv)
 		})
 		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
-		extra := consume(prod)
-		if pipe {
-			// Only the pipelined schedule earns overlap credit: in the
-			// serial schedule no compute runs between a stage's post and
-			// wait, so the next stage's broadcasts are fully exposed.
-			credit = sec + extra
-		}
+		consume(prod)
 	}
+}
+
+// stageProducts runs the stage loop and collects every stage's partial
+// product (the non-incremental merge strategy's input).
+func (p *Proc) stageProducts(bBatch, bNextBatch *spmat.CSC, res *Result) (partial []*spmat.CSC, unmerged int64) {
+	partial = make([]*spmat.CSC, 0, p.G.Q)
+	p.forEachStage(bBatch, bNextBatch, res, func(prod *spmat.CSC) {
+		partial = append(partial, prod)
+		unmerged += prod.NNZ()
+	})
+	res.UnmergedNNZ += unmerged
+	// Peak: inputs plus all unmerged stage products live simultaneously.
+	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged)
+	return partial, unmerged
 }
 
 // summa2D executes Alg 1 on this rank's layer for one batch piece of B:
@@ -112,28 +146,18 @@ func (p *Proc) forEachStage(bBatch *spmat.CSC, res *Result, consume func(prod *s
 // (the paper merges once after all stages; see Sec. III-A). With
 // Options.IncrementalMerge the stage products are folded into a running
 // accumulator instead — lower peak memory, more merge work.
-func (p *Proc) summa2D(bBatch *spmat.CSC, res *Result) *spmat.CSC {
+func (p *Proc) summa2D(bBatch, bNextBatch *spmat.CSC, res *Result) *spmat.CSC {
 	if p.Opts.IncrementalMerge {
-		return p.summa2DIncremental(bBatch, res)
+		return p.summa2DIncremental(bBatch, bNextBatch, res)
 	}
-	g := p.G
-	meter := g.World.Meter()
-	partial := make([]*spmat.CSC, 0, g.Q)
-	var unmerged int64
-	p.forEachStage(bBatch, res, func(prod *spmat.CSC) float64 {
-		partial = append(partial, prod)
-		unmerged += prod.NNZ()
-		return 0
-	})
-	res.UnmergedNNZ += unmerged
-	// Peak: inputs plus all unmerged stage products live simultaneously.
-	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged)
+	partial, unmerged := p.stageProducts(bBatch, bNextBatch, res)
 
 	// Merge-Layer (Alg 1 line 8). Output may stay unsorted: only the final
 	// Merge-Fiber output must be sorted (Sec. IV-D).
+	meter := p.G.World.Meter()
 	meter.SetCategory(StepMergeLayer)
 	var d *spmat.CSC
-	mergeSec := mpi.MeasureCompute(func() {
+	mergeSec := p.measure(func() {
 		d = p.mergeFn()(partial, false)
 	})
 	meter.AddComputeWork(mergeSec, unmerged+int64(bBatch.Cols)+1)
@@ -145,30 +169,29 @@ func (p *Proc) summa2D(bBatch *spmat.CSC, res *Result) *spmat.CSC {
 // summa2DIncremental is the merge-per-stage variant: after each stage the
 // product is merged into the accumulator, so at most one stage product and
 // the accumulator are live simultaneously. The per-stage merge time joins
-// the overlap credit: in pipelined mode the next stage's broadcasts hide
-// behind multiply and merge alike.
-func (p *Proc) summa2DIncremental(bBatch *spmat.CSC, res *Result) *spmat.CSC {
+// the overlap credit through the ledger: in pipelined mode the next stage's
+// broadcasts hide behind multiply and merge alike.
+func (p *Proc) summa2DIncremental(bBatch, bNextBatch *spmat.CSC, res *Result) *spmat.CSC {
 	g := p.G
 	meter := g.World.Meter()
 	var acc *spmat.CSC
-	p.forEachStage(bBatch, res, func(prod *spmat.CSC) float64 {
+	p.forEachStage(bBatch, bNextBatch, res, func(prod *spmat.CSC) {
 		res.UnmergedNNZ += prod.NNZ()
 		if acc == nil {
 			acc = prod
 			p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+acc.NNZ())
-			return 0
+			return
 		}
 		meter.SetCategory(StepMergeLayer)
 		work := acc.NNZ() + prod.NNZ()
 		p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+work)
 		pair := []*spmat.CSC{acc, prod}
 		var merged *spmat.CSC
-		sec := mpi.MeasureCompute(func() {
+		sec := p.measure(func() {
 			merged = p.mergeFn()(pair, false)
 		})
 		meter.AddComputeWork(sec, work+1)
 		acc = merged
-		return sec
 	})
 	if acc == nil {
 		acc = spmat.New(p.LocalA.Rows, bBatch.Cols)
@@ -179,30 +202,149 @@ func (p *Proc) summa2DIncremental(bBatch *spmat.CSC, res *Result) *spmat.CSC {
 }
 
 // summa3DBatch executes one batch of Alg 2: per-layer 2D SUMMA, the fiber
-// AllToAll, and the fiber merge. Returns the local batch output (sorted) and
-// the local column offsets (within this rank's block column) it covers.
-func (p *Proc) summa3DBatch(t int, res *Result) (*spmat.CSC, []int32) {
+// AllToAll, and the fiber merge. bBatch is this batch's piece of the local B
+// (extracted by BatchedSUMMA3D); bNextBatch is the next batch's piece, or nil
+// on the last batch, used by the pipelined schedule's cross-batch prefetch.
+// Returns the local batch output (sorted) and the local column offsets
+// (within this rank's block column) it covers.
+func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (*spmat.CSC, []int32) {
+	if p.Opts.Pipeline {
+		return p.summa3DBatchOverlapped(t, bBatch, bNextBatch, res)
+	}
 	g := p.G
 	meter := g.World.Meter()
 
-	// Extract this batch's piece of the local B (block-cyclic, Fig 1(i)).
-	batchCols := p.bt.BatchCols(t)
-	bBatch := spmat.ColSelect(p.LocalB, batchCols)
-
 	// Per-layer 2D multiply (Alg 2 line 3).
-	d := p.summa2D(bBatch, res)
+	d := p.summa2D(bBatch, nil, res)
 
-	// ColSplit + AllToAll along the fiber (Alg 2 lines 4–5).
-	meter.SetCategory(StepAllToAll)
-	pieces, _ := p.bt.SplitByLayer(d, t)
+	// ColSplit packing (Alg 2 line 4) is local merge-side work, so it is
+	// metered as Merge-Layer compute; the category switches to the exchange's
+	// step only at the collective itself, keeping packing time out of the
+	// communication attribution.
+	meter.SetCategory(StepMergeLayer)
+	var pieces []*spmat.CSC
+	packSec := p.measure(func() {
+		pieces, _ = p.bt.SplitByLayer(d, t)
+	})
+	meter.AddComputeWork(packSec, d.NNZ()+int64(g.L)+1)
 	send := make([]mpi.Payload, g.L)
 	for m := 0; m < g.L; m++ {
 		send[m] = pieces[m]
 	}
-	recv := g.Fiber.AllToAllv(send)
 
-	// Merge-Fiber (Alg 2 line 6): the final output is sorted here and only
-	// here (Sec. IV-D).
+	// AllToAll along the fiber (Alg 2 line 5).
+	meter.SetCategory(StepAllToAll)
+	recv := g.Fiber.AllToAllv(send)
+	return p.mergeFiber(t, d.Rows, recv, res)
+}
+
+// summa3DBatchOverlapped is summa3DBatch on the fully-overlapped schedule
+// (Opts.Pipeline). Merge-Layer is partitioned by destination layer —
+// per-column identical to merge-then-split, so the output does not change —
+// which lets the fiber exchange (split into IalltoallvStart + WaitOverlap)
+// be posted as soon as the remote destinations' shares are merged and
+// complete while the own-layer share still runs: that merge time becomes
+// overlap credit and the hidden share of the AllToAll cost is charged to
+// StepAllToAllHidden.
+func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (*spmat.CSC, []int32) {
+	g := p.G
+	meter := g.World.Meter()
+	led := &p.pipe.ledger
+
+	if p.Opts.IncrementalMerge {
+		// The accumulator is already fully merged, so no Merge-Layer work is
+		// left to hide the exchange behind; the split exchange still runs so
+		// any unclaimed compute since the post (none, in this schedule) could
+		// be credited, and the cross-batch broadcast prefetch applies as in
+		// the non-incremental variant.
+		acc := p.summa2DIncremental(bBatch, bNextBatch, res)
+		meter.SetCategory(StepMergeLayer)
+		var pieces []*spmat.CSC
+		packSec := p.measure(func() {
+			pieces, _ = p.bt.SplitByLayer(acc, t)
+		})
+		meter.AddComputeWork(packSec, acc.NNZ()+int64(g.L)+1)
+		send := make([]mpi.Payload, g.L)
+		for m := 0; m < g.L; m++ {
+			if m != g.K {
+				send[m] = pieces[m]
+			}
+		}
+		post := led.clock
+		req := g.Fiber.IalltoallvStart(send)
+		meter.SetCategory(StepAllToAll)
+		recv, used := req.WaitOverlap(led.creditSince(post), StepAllToAllHidden)
+		led.claim(post, used)
+		recv[g.K] = pieces[g.K] // the own piece never travels
+		return p.mergeFiber(t, acc.Rows, recv, res)
+	}
+
+	partial, unmerged := p.stageProducts(bBatch, bNextBatch, res)
+
+	// Destination-partitioned Merge-Layer: split every stage product by
+	// owning layer first (the ColSplit packing of Alg 2 line 4, charged as
+	// Merge-Layer compute like in the staged schedule), then merge each
+	// destination's stage pieces separately. Merging is column-independent,
+	// so each merged piece is bit-identical to the corresponding column
+	// selection of the staged schedule's single Merge-Layer output.
+	meter.SetCategory(StepMergeLayer)
+	perDest := make([][]*spmat.CSC, g.L)
+	packSec := p.measure(func() {
+		for _, prod := range partial {
+			pieces, _ := p.bt.SplitByLayer(prod, t)
+			for m := 0; m < g.L; m++ {
+				perDest[m] = append(perDest[m], pieces[m])
+			}
+		}
+	})
+	meter.AddComputeWork(packSec, unmerged+int64(g.L)+1)
+
+	mergeDest := func(m int) *spmat.CSC {
+		var in int64
+		for _, piece := range perDest[m] {
+			in += piece.NNZ()
+		}
+		var out *spmat.CSC
+		sec := p.measure(func() {
+			out = p.mergeFn()(perDest[m], false)
+		})
+		meter.AddComputeWork(sec, in+int64(out.Cols)+1)
+		return out
+	}
+
+	// Remote destinations first, so the exchange posts as early as possible.
+	send := make([]mpi.Payload, g.L)
+	var mergedNNZ int64
+	for m := 0; m < g.L; m++ {
+		if m == g.K {
+			continue
+		}
+		piece := mergeDest(m)
+		send[m] = piece
+		mergedNNZ += piece.NNZ()
+	}
+	post := led.clock
+	req := g.Fiber.IalltoallvStart(send)
+
+	// The own-layer share of Merge-Layer overlaps the in-flight exchange.
+	own := mergeDest(g.K)
+	mergedNNZ += own.NNZ()
+	res.MergedLayerNNZ += mergedNNZ
+	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged+mergedNNZ)
+
+	meter.SetCategory(StepAllToAll)
+	recv, used := req.WaitOverlap(led.creditSince(post), StepAllToAllHidden)
+	led.claim(post, used)
+	recv[g.K] = own // the own piece never travels
+	return p.mergeFiber(t, own.Rows, recv, res)
+}
+
+// mergeFiber is Merge-Fiber (Alg 2 line 6), shared by the staged and
+// overlapped schedules: the final output is sorted here and only here
+// (Sec. IV-D). recv is indexed by source layer; nil entries carry nothing.
+func (p *Proc) mergeFiber(t int, rows int32, recv []mpi.Payload, res *Result) (*spmat.CSC, []int32) {
+	g := p.G
+	meter := g.World.Meter()
 	meter.SetCategory(StepMergeFiber)
 	mats := make([]*spmat.CSC, 0, g.L)
 	var recvNNZ int64
@@ -215,9 +357,9 @@ func (p *Proc) summa3DBatch(t int, res *Result) (*spmat.CSC, []int32) {
 		recvNNZ += m.NNZ()
 	}
 	var c *spmat.CSC
-	fiberSec := mpi.MeasureCompute(func() {
+	fiberSec := p.measure(func() {
 		if len(mats) == 0 {
-			c = spmat.New(d.Rows, 0)
+			c = spmat.New(rows, 0)
 		} else {
 			c = p.mergeFn()(mats, true)
 		}

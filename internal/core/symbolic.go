@@ -30,35 +30,31 @@ func (p *Proc) Symbolic3D() (b int, maxNNZC int64, err error) {
 	// The broadcasts mirror SUMMA3D's but are charged to Symbolic. With
 	// Opts.Pipeline the loop is the same stage-prefetch schedule as
 	// forEachStage: stage s+1's broadcasts are posted before stage s's
-	// LocalSymbolic runs, and the broadcast cost that window covers is
-	// charged to Symbolic-Hidden. The symbolic pass is dominated by its
-	// broadcasts (Fig 8), so this is where overlap pays off most.
+	// LocalSymbolic runs, and the broadcast cost the overlap ledger's window
+	// covers is charged to Symbolic-Hidden. The symbolic pass is dominated by
+	// its broadcasts (Fig 8), so this is where overlap pays off most.
 	var next stageBcasts
 	if pipe {
 		next = p.postStageBcasts(0, p.LocalB)
 	}
-	var credit float64
 	for s := 0; s < stages; s++ {
 		cur := next
 		if !pipe {
 			cur = p.postStageBcasts(s, p.LocalB)
 		}
-		aRecv, bRecv := p.waitStageBcasts(cur, credit,
+		aRecv, bRecv := p.waitStageBcasts(cur,
 			StepSymbolic, StepSymbolicHidden, StepSymbolic, StepSymbolicHidden)
 		if pipe && s+1 < stages {
 			next = p.postStageBcasts(s+1, p.LocalB)
 		}
 
 		symFlops := localmm.Flops(aRecv, bRecv)
-		symSec := mpi.MeasureCompute(func() {
+		symSec := p.measure(func() {
 			// LOCALSYMBOLIC (Alg 3 line 7), threaded like the numeric
 			// kernels when Opts.Threads > 1.
 			localNNZ += localmm.ParallelSymbolicSpGEMM(aRecv, bRecv, p.Opts.Threads)
 		})
 		meter.AddComputeWork(symSec, symFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
-		if pipe {
-			credit = symSec
-		}
 	}
 
 	// Alg 3 lines 9–11: max unmerged output, max Ã, max B̃ over all ranks.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -18,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"pipeline",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -34,13 +36,16 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestListOrdered(t *testing.T) {
 	ids := List()
-	// tables first, then figures in numeric order.
+	// tables first, then figures in numeric order, then named ablations.
 	if ids[0].ID != "table2" {
 		t.Errorf("first is %s", ids[0].ID)
 	}
 	last := ids[len(ids)-1]
-	if last.ID != "fig15" {
+	if last.ID != "pipeline" {
 		t.Errorf("last is %s", last.ID)
+	}
+	if ids[len(ids)-2].ID != "fig15" {
+		t.Errorf("second to last is %s", ids[len(ids)-2].ID)
 	}
 }
 
@@ -172,6 +177,114 @@ func TestRenderAlignment(t *testing.T) {
 	}
 	if !strings.Contains(header, "bbbb") {
 		t.Errorf("header misrendered: %q", header)
+	}
+}
+
+// TestPipelineExperimentReportsHiddenComm pins the PR's acceptance criterion:
+// on the fig-6 shape the staged-vs-overlapped ablation must report nonzero
+// hidden seconds for the broadcast categories AND the fiber AllToAll.
+func TestPipelineExperimentReportsHiddenComm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	e, err := Get("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) < 2 {
+		t.Fatalf("want fig6 and fig8 tables, got %d", len(rep.Tables))
+	}
+	fig6 := rep.Tables[0]
+	if !strings.Contains(fig6.Name, "fig6") {
+		t.Fatalf("first table is %q, want the fig6 shape", fig6.Name)
+	}
+	hiddenOf := func(tb *Table, step string) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == step {
+				v, err := strconv.ParseFloat(row[3], 64)
+				if err != nil {
+					t.Fatalf("%s hidden cell %q: %v", step, row[3], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("step %s missing from table %q", step, tb.Name)
+		return 0
+	}
+	for _, step := range []string{"A-Broadcast", "B-Broadcast", "AllToAll-Fiber"} {
+		if h := hiddenOf(fig6, step); h <= 0 {
+			t.Errorf("fig6 shape: %s hidden seconds = %v, want > 0", step, h)
+		}
+	}
+}
+
+// TestGateDeterministicAndComparable: the perf gate's gated metrics must be
+// identical across runs (they are modeled, not measured — that is what makes
+// a 5%% CI threshold trustworthy), self-comparison must pass, and inflated or
+// missing shapes must be flagged.
+func TestGateDeterministicAndComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate runs full shapes; slow in -short mode")
+	}
+	r1, err := RunGate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunGate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gated int
+	for _, s1 := range r1.Shapes {
+		s2 := r2.Shape(s1.Name)
+		if s2 == nil {
+			t.Fatalf("shape %s missing from second run", s1.Name)
+		}
+		if !s1.Gated {
+			continue
+		}
+		gated++
+		if s1.ModelSeconds != s2.ModelSeconds || s1.CommSeconds != s2.CommSeconds ||
+			s1.WorkUnits != s2.WorkUnits || s1.Bytes != s2.Bytes {
+			t.Errorf("%s: gated metrics not deterministic:\n  run1 %+v\n  run2 %+v", s1.Name, s1, *s2)
+		}
+		if s1.ModelSeconds <= 0 {
+			t.Errorf("%s: degenerate model seconds %v", s1.Name, s1.ModelSeconds)
+		}
+	}
+	if gated == 0 {
+		t.Fatal("no gated shapes")
+	}
+	if over := r1.Shape("fig6-friendster-overlapped"); over == nil {
+		t.Error("overlapped ablation shape missing")
+	} else if over.Gated {
+		t.Error("overlapped shape must not be gated (its exposed share is measured, not modeled)")
+	} else if over.HiddenCommSeconds <= 0 {
+		t.Errorf("overlapped shape hid no communication: %+v", *over)
+	}
+
+	if bad := CompareGate(r1, r2, GateTolerance); len(bad) != 0 {
+		t.Errorf("self-comparison flagged regressions: %v", bad)
+	}
+	// A 20% inflation of one gated shape must be flagged.
+	inflated := &GateReport{SecPerWorkUnit: r1.SecPerWorkUnit}
+	inflated.Shapes = append([]GateResult(nil), r1.Shapes...)
+	inflated.Shapes[0].ModelSeconds *= 1.2
+	if bad := CompareGate(inflated, r1, GateTolerance); len(bad) != 1 {
+		t.Errorf("inflated run: want 1 violation, got %v", bad)
+	}
+	// A shape missing from the current run must be flagged.
+	partial := &GateReport{SecPerWorkUnit: r1.SecPerWorkUnit, Shapes: r1.Shapes[1:]}
+	if bad := CompareGate(partial, r1, GateTolerance); len(bad) == 0 {
+		t.Error("missing shape not flagged")
+	}
+	// Mismatched work-unit rates make reports incomparable.
+	if bad := CompareGate(&GateReport{SecPerWorkUnit: 2e-9, Shapes: r1.Shapes}, r1, GateTolerance); len(bad) == 0 {
+		t.Error("mismatched sec_per_work_unit not flagged")
 	}
 }
 

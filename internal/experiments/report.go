@@ -173,16 +173,18 @@ func List() []*Experiment {
 	return out
 }
 
-// idOrder sorts table2 < table3 < … < fig3 < fig4 … numerically.
+// idOrder sorts table2 < table3 < … < fig3 < fig4 … numerically; ids that are
+// neither tables nor figures (ablations like "pipeline") sort after them,
+// alphabetically.
 func idOrder(id string) string {
-	var prefix string
 	var n int
-	if strings.HasPrefix(id, "table") {
-		prefix = "0table"
+	switch {
+	case strings.HasPrefix(id, "table"):
 		fmt.Sscanf(id, "table%d", &n)
-	} else {
-		prefix = "1fig"
+		return fmt.Sprintf("0table%04d", n)
+	case strings.HasPrefix(id, "fig"):
 		fmt.Sscanf(id, "fig%d", &n)
+		return fmt.Sprintf("1fig%04d", n)
 	}
-	return fmt.Sprintf("%s%04d", prefix, n)
+	return "2" + id
 }

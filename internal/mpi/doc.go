@@ -23,15 +23,16 @@
 // aggregates per-rank meters into the critical-path numbers the paper plots
 // (per-step maxima over ranks, work-smoothed compute).
 //
-// # Non-blocking broadcast
+// # Non-blocking collectives
 //
 // IbcastStart/BcastRequest.Wait split a broadcast into a post and a
-// completion, the building block of the pipelined SUMMA schedule. The
-// payload exchange happens eagerly at post time, but the modeled cost is
-// charged at wait time — to the category current at the wait, with
-// WaitOverlap optionally diverting the share that hid behind intervening
-// compute into a separate "hidden" category. A post immediately followed by
-// Wait meters identically to the blocking Bcast.
+// completion, and IalltoallvStart/AllToAllvRequest.Wait do the same for the
+// personalized exchange — the building blocks of the fully-overlapped SUMMA
+// schedule. The payload exchange happens eagerly at post time, but the
+// modeled cost is charged at wait time — to the category current at the
+// wait, with WaitOverlap optionally diverting the share that hid behind
+// intervening compute into a separate "hidden" category. A post immediately
+// followed by Wait meters identically to the blocking collective.
 //
 // All collectives (posts included) are bulk-synchronous and must be called
 // by every rank of a communicator in the same order.

@@ -1,0 +1,89 @@
+package mpi
+
+import "fmt"
+
+// This file implements the split (non-blocking) personalized exchange the
+// overlapped fiber schedule needs: IalltoallvStart posts the collective and
+// performs the data movement, Wait/WaitOverlap complete it and charge the
+// meter. It mirrors ibcast.go exactly: nothing is charged at post time, the
+// modeled α–β cost is charged when the request is completed, to whatever
+// category the meter points at then, and the payload exchange itself
+// completes eagerly inside the post (the simulated transport is shared
+// memory, and MPI implementations are free to progress a nonblocking
+// collective at any point between post and wait). The barriers that order
+// the exchange therefore run at post time, which is what lets a caller post
+// the exchange, run local merge work, and then complete the exchange without
+// any rank blocking inside another rank's compute section.
+
+// AllToAllvRequest is an in-flight non-blocking personalized exchange posted
+// with IalltoallvStart. Exactly one of Wait or WaitOverlap must be called, by
+// the same rank goroutine that posted it.
+type AllToAllvRequest struct {
+	meter *Meter
+	recv  []Payload
+	bytes int64
+	cost  float64
+	done  bool
+}
+
+// IalltoallvStart posts a personalized exchange — send[i] goes to rank i —
+// without charging the meter. All ranks of the communicator must post
+// collectively; nil entries carry nothing (the self slot is typically nil
+// when the caller keeps its own piece local). The returned request holds the
+// received payloads (indexed by source rank) and the modeled cost until Wait
+// or WaitOverlap claims them.
+func (c *Comm) IalltoallvStart(send []Payload) *AllToAllvRequest {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("mpi: IalltoallvStart got %d payloads for %d ranks", len(send), c.size))
+	}
+	c.core.ensureMatrix()
+	base := c.rank * c.size
+	for dst, m := range send {
+		c.core.matrix[base+dst] = m
+	}
+	c.Barrier()
+	recv := make([]Payload, c.size)
+	for src := 0; src < c.size; src++ {
+		v := c.core.matrix[src*c.size+c.rank]
+		if v != nil {
+			recv[src] = v.(Payload)
+		}
+	}
+	c.Barrier()
+	var sent int64
+	for dst, m := range send {
+		if m != nil && dst != c.rank {
+			sent += m.CommBytes()
+		}
+	}
+	return &AllToAllvRequest{
+		meter: c.meter,
+		recv:  recv,
+		bytes: sent,
+		cost:  c.cost.AllToAllCost(c.size, sent),
+	}
+}
+
+// Wait completes the request: the full modeled cost and the payload bytes are
+// charged to the meter's current category and the received payloads are
+// returned (indexed by source rank, nil where nothing was sent). An AllToAllv
+// and an IalltoallvStart immediately followed by Wait meter identically.
+func (r *AllToAllvRequest) Wait() []Payload {
+	p, _ := r.WaitOverlap(0, "")
+	return p
+}
+
+// WaitOverlap completes the request like Wait but treats up to credit seconds
+// of the modeled cost as hidden behind work the rank performed between post
+// and wait, with the same attribution rules as BcastRequest.WaitOverlap: the
+// hidden share goes to hiddenCat's HiddenSeconds, messages and bytes always
+// stay with the primary category, and only the exposed remainder is charged
+// there. It returns the payloads and the credit actually consumed.
+func (r *AllToAllvRequest) WaitOverlap(credit float64, hiddenCat string) ([]Payload, float64) {
+	if r.done {
+		panic("mpi: AllToAllvRequest completed twice")
+	}
+	r.done = true
+	used := completeOverlap(r.meter, r.bytes, r.cost, credit, hiddenCat)
+	return r.recv, used
+}

@@ -1,0 +1,173 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIalltoallvDeliversPayloads: the split exchange must move every payload
+// to its destination exactly like the blocking AllToAllv, with nil slots
+// (e.g. the self slot a caller keeps local) arriving as nil.
+func TestIalltoallvDeliversPayloads(t *testing.T) {
+	const p = 4
+	Run(p, CostModel{AlphaSec: 1e-6, BetaSecPerByte: 1e-9}, func(c *Comm) {
+		send := make([]Payload, p)
+		for dst := 0; dst < p; dst++ {
+			if dst == c.Rank() {
+				continue // self piece stays local
+			}
+			send[dst] = Bytes(100*c.Rank() + dst)
+		}
+		recv := c.IalltoallvStart(send).Wait()
+		for src := 0; src < p; src++ {
+			if src == c.Rank() {
+				if recv[src] != nil {
+					t.Errorf("rank %d: self slot delivered %v, want nil", c.Rank(), recv[src])
+				}
+				continue
+			}
+			want := Bytes(100*src + c.Rank())
+			if got := recv[src].(Bytes); got != want {
+				t.Errorf("rank %d: from %d got %v, want %v", c.Rank(), src, got, want)
+			}
+		}
+	})
+}
+
+// TestIalltoallvWaitMetersLikeBlocking: an IalltoallvStart immediately
+// followed by Wait must charge messages, exchanged-byte totals, and modeled
+// seconds identically to the blocking AllToAllv, and the charge must land on
+// the category current at *wait* time — the wait-time attribution the staged
+// schedule relies on to stay byte-identical.
+func TestIalltoallvWaitMetersLikeBlocking(t *testing.T) {
+	cm := CostModel{AlphaSec: 3e-6, BetaSecPerByte: 2e-9}
+	const p = 4
+	run := func(split bool) []*Meter {
+		return Run(p, cm, func(c *Comm) {
+			send := make([]Payload, p)
+			for dst := 0; dst < p; dst++ {
+				send[dst] = Bytes(1000 + 10*c.Rank() + dst)
+			}
+			if split {
+				c.Meter().SetCategory("posted-under") // must NOT be charged
+				req := c.IalltoallvStart(send)
+				c.Meter().SetCategory("step")
+				req.Wait()
+			} else {
+				c.Meter().SetCategory("step")
+				c.AllToAllv(send)
+			}
+		})
+	}
+	blocking, nonblocking := run(false), run(true)
+	for r := range blocking {
+		want, got := blocking[r].Step("step"), nonblocking[r].Step("step")
+		if want != got {
+			t.Errorf("rank %d: Ialltoallv+Wait metered %+v, AllToAllv %+v", r, got, want)
+		}
+		if post := nonblocking[r].Step("posted-under"); post != (StepStats{}) {
+			t.Errorf("rank %d: post-time category charged: %+v", r, post)
+		}
+	}
+	// Aggregated totals match too (exchanged-byte totals are summed).
+	ws, gs := Summarize(blocking), Summarize(nonblocking)
+	if ws.Step("step").Bytes != gs.Step("step").Bytes || ws.Step("step").Messages != gs.Step("step").Messages {
+		t.Errorf("summarized volume differs: blocking %+v, split %+v", ws.Step("step"), gs.Step("step"))
+	}
+}
+
+// TestIalltoallvWaitOverlapSplitsCost: credit moves modeled cost into the
+// hidden category without changing the total or the volume accounting, which
+// always stays with the primary category.
+func TestIalltoallvWaitOverlapSplitsCost(t *testing.T) {
+	cm := CostModel{AlphaSec: 1e-3, BetaSecPerByte: 1e-6}
+	const p = 4
+	perRank := int64(500)
+	full := cm.AllToAllCost(p, (p-1)*perRank)
+	for _, tc := range []struct {
+		name       string
+		credit     float64
+		wantHidden float64
+	}{
+		{"no credit", 0, 0},
+		{"partial credit", full / 2, full / 2},
+		{"surplus credit", 2 * full, full},
+		{"negative credit", -1, 0},
+	} {
+		meters := Run(p, cm, func(c *Comm) {
+			send := make([]Payload, p)
+			for dst := 0; dst < p; dst++ {
+				if dst != c.Rank() {
+					send[dst] = Bytes(perRank)
+				}
+			}
+			req := c.IalltoallvStart(send)
+			c.Meter().SetCategory("exposed")
+			_, used := req.WaitOverlap(tc.credit, "hidden")
+			if math.Abs(used-tc.wantHidden) > 1e-12 {
+				t.Errorf("%s: rank %d consumed credit %v, want %v", tc.name, c.Rank(), used, tc.wantHidden)
+			}
+		})
+		for r, m := range meters {
+			exp, hid := m.Step("exposed"), m.Step("hidden")
+			if math.Abs(exp.CommSeconds+hid.HiddenSeconds-full) > 1e-12 {
+				t.Errorf("%s: rank %d exposed %v + hidden %v != cost %v",
+					tc.name, r, exp.CommSeconds, hid.HiddenSeconds, full)
+			}
+			if math.Abs(hid.HiddenSeconds-tc.wantHidden) > 1e-12 {
+				t.Errorf("%s: rank %d hidden %v, want %v", tc.name, r, hid.HiddenSeconds, tc.wantHidden)
+			}
+			if exp.Messages != 1 || exp.Bytes != (p-1)*perRank || hid.Messages != 0 || hid.Bytes != 0 {
+				t.Errorf("%s: rank %d volume misattributed: exposed %+v hidden %+v", tc.name, r, exp, hid)
+			}
+			// Only the exposed share may reach the critical-path total.
+			if got := m.TotalSeconds(); math.Abs(got-exp.CommSeconds) > 1e-12 {
+				t.Errorf("%s: rank %d TotalSeconds %v counts hidden time", tc.name, r, got)
+			}
+		}
+	}
+}
+
+// TestIalltoallvDoubleWaitPanics: completing a request twice is a schedule
+// bug and must not silently double-charge the meter.
+func TestIalltoallvDoubleWaitPanics(t *testing.T) {
+	Run(1, CostModel{}, func(c *Comm) {
+		req := c.IalltoallvStart([]Payload{Bytes(1)})
+		req.Wait()
+		defer func() {
+			if recover() == nil {
+				t.Error("second Wait did not panic")
+			}
+		}()
+		req.Wait()
+	})
+}
+
+// TestIalltoallvPostedBeforeWaitOfOther: two split collectives on the same
+// communicator may be outstanding in posting order — the overlapped fiber
+// schedule posts batch t's exchange while batch t+1's broadcasts are already
+// pending on other communicators; here both are exercised on one comm.
+func TestIalltoallvPostedAfterIbcast(t *testing.T) {
+	const p = 3
+	Run(p, CostModel{}, func(c *Comm) {
+		var msg Payload
+		if c.Rank() == 0 {
+			msg = Bytes(7)
+		}
+		bc := c.IbcastStart(0, msg)
+		send := make([]Payload, p)
+		for dst := 0; dst < p; dst++ {
+			send[dst] = Bytes(int64(10 + dst))
+		}
+		ex := c.IalltoallvStart(send)
+		if got := bc.Wait().(Bytes); got != 7 {
+			t.Errorf("rank %d: bcast payload %v", c.Rank(), got)
+		}
+		recv := ex.Wait()
+		for src := 0; src < p; src++ {
+			if got := recv[src].(Bytes); got != Bytes(10+c.Rank()) {
+				t.Errorf("rank %d: from %d got %v", c.Rank(), src, got)
+			}
+		}
+	})
+}

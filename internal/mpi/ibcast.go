@@ -79,16 +79,27 @@ func (r *BcastRequest) WaitOverlap(credit float64, hiddenCat string) (Payload, f
 		panic("mpi: BcastRequest completed twice")
 	}
 	r.done = true
+	used := completeOverlap(r.meter, r.bytes, r.cost, credit, hiddenCat)
+	return r.payload, used
+}
+
+// completeOverlap is the shared wait-time charge of the split collectives
+// (BcastRequest, AllToAllvRequest): up to credit seconds of the modeled cost
+// are hidden behind hiddenCat's HiddenSeconds, the exposed remainder is
+// charged to the meter's current category, and the message/byte volume always
+// stays with the current category so accounting is mode-independent. Returns
+// the credit actually consumed.
+func completeOverlap(m *Meter, bytes int64, cost, credit float64, hiddenCat string) float64 {
 	hidden := credit
-	if hidden > r.cost {
-		hidden = r.cost
+	if hidden > cost {
+		hidden = cost
 	}
 	if hidden < 0 {
 		hidden = 0
 	}
-	r.meter.addComm(1, r.bytes, r.cost-hidden)
+	m.addComm(1, bytes, cost-hidden)
 	if hidden > 0 && hiddenCat != "" {
-		r.meter.get(hiddenCat).HiddenSeconds += hidden
+		m.get(hiddenCat).HiddenSeconds += hidden
 	}
-	return r.payload, hidden
+	return hidden
 }

@@ -221,32 +221,10 @@ func (c *Comm) Allgather(msg Payload) []Payload {
 
 // AllToAllv performs a personalized exchange: send[i] goes to rank i, and the
 // returned slice holds what every rank sent to this rank (indexed by source).
+// It is exactly the split exchange completed immediately — one copy of the
+// data movement and cost logic, shared with the overlapped schedule.
 func (c *Comm) AllToAllv(send []Payload) []Payload {
-	if len(send) != c.size {
-		panic(fmt.Sprintf("mpi: AllToAllv got %d payloads for %d ranks", len(send), c.size))
-	}
-	c.core.ensureMatrix()
-	base := c.rank * c.size
-	for dst, m := range send {
-		c.core.matrix[base+dst] = m
-	}
-	c.Barrier()
-	recv := make([]Payload, c.size)
-	for src := 0; src < c.size; src++ {
-		v := c.core.matrix[src*c.size+c.rank]
-		if v != nil {
-			recv[src] = v.(Payload)
-		}
-	}
-	c.Barrier()
-	var sent int64
-	for dst, m := range send {
-		if m != nil && dst != c.rank {
-			sent += m.CommBytes()
-		}
-	}
-	c.meter.addComm(1, sent, c.cost.AllToAllCost(c.size, sent))
-	return recv
+	return c.IalltoallvStart(send).Wait()
 }
 
 // ReduceOp is a binary reduction operator.

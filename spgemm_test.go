@@ -339,9 +339,24 @@ func TestFacadePipelined(t *testing.T) {
 	if pStats.HiddenCommSeconds <= 0 {
 		t.Error("pipelined run hid no comm time")
 	}
+	var perStep float64
 	for _, step := range spgemm.StepNames() {
 		if pStats.Steps[step].Bytes != sStats.Steps[step].Bytes {
 			t.Errorf("%s: bytes moved changed under pipelining", step)
 		}
+		if h := sStats.Steps[step].HiddenCommSeconds; h != 0 {
+			t.Errorf("%s: staged run reports per-step hidden comm %v", step, h)
+		}
+		perStep += pStats.Steps[step].HiddenCommSeconds
+	}
+	// The per-step hidden breakdown must add up to the total (the symbolic
+	// hidden share is folded into the Symbolic step).
+	if diff := perStep - pStats.HiddenCommSeconds; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("per-step hidden comm sums to %v, total reports %v", perStep, pStats.HiddenCommSeconds)
+	}
+	// The fiber exchange overlaps the own-layer Merge-Layer share, so on a
+	// multi-layer grid its hidden share must be nonzero too.
+	if h := pStats.Steps["AllToAll-Fiber"].HiddenCommSeconds; h <= 0 {
+		t.Errorf("pipelined run hid no AllToAll-Fiber time (hidden %v)", h)
 	}
 }
