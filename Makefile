@@ -9,7 +9,7 @@ GO ?= go
 FUZZTIME ?= 30s
 GATE_TOL ?= 0.05
 
-.PHONY: all build test race vet doc bench fuzz perfgate baseline ci
+.PHONY: all build test race vet doc bench cover fuzz perfgate baseline ci
 
 # all: the tier-1 gate (build + test), the default target.
 all: build test
@@ -49,6 +49,13 @@ doc:
 # without running tests.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# cover: the full test suite with per-package coverage, writing an HTML
+# report to cover.html (open it in a browser to drill into files).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+	$(GO) tool cover -html=cover.out -o cover.html
 
 # fuzz: bounded fuzz pass over the Matrix Market reader (seed corpus in
 # internal/spmat/testdata/fuzz). Override FUZZTIME for longer local runs,

@@ -7,6 +7,7 @@
 //	datagen -kind rmat -scale 12 -ef 16 -out social.mtx
 //	datagen -kind kmer -reads 4096 -kmers 65536 -out reads.mtx
 //	datagen -kind er -n 10000 -ef 8 -out er.mtx
+//	datagen -kind hyper -reads 64 -kmers 4096 -out hyper.mtx  # ~2 nnz/column
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "protein", "matrix kind: protein | rmat | er | kmer")
+		kind  = flag.String("kind", "protein", "matrix kind: protein | rmat | er | kmer | hyper")
 		scale = flag.Int("scale", 10, "log2 of the matrix side (protein, rmat)")
 		n     = flag.Int("n", 1024, "matrix side (er)")
 		ef    = flag.Int("ef", 8, "edge factor / average degree")
@@ -46,6 +47,10 @@ func main() {
 			Reads: int32(*reads), Kmers: int32(*kmers),
 			KmersPerRead: *kpr, Overlap: *ovl, Seed: *seed,
 		})
+	case "hyper":
+		// Hypersparse preset: reads×kmers shape with ~2 nnz per column
+		// (Rice-kmers-like), the regime the DCSC storage format targets.
+		m = genmat.Hypersparse(int32(*reads), int32(*kmers), 2, *seed)
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}

@@ -3,10 +3,16 @@
 // compression factor, and the batch counts a given memory budget would need
 // on a given grid (the symbolic decision, Eq 2 and Alg 3).
 //
+// With -grid it additionally reports per-block hypersparsity: how the matrix
+// distributes onto a q×q×l process grid, the non-empty columns and
+// nnz/column of the local blocks, their CSC vs DCSC footprints, and which
+// storage format the auto heuristic would pick per block.
+//
 // Usage:
 //
 //	mtxinfo graph.mtx
 //	mtxinfo -mem 1e9 -procs 64 -layers 4 graph.mtx
+//	mtxinfo -grid 2x2x16 reads.mtx
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/distmat"
 	"repro/internal/genmat"
 	"repro/internal/localmm"
 	"repro/internal/spmat"
@@ -25,6 +32,7 @@ func main() {
 		mem    = flag.Float64("mem", 0, "aggregate memory budget in bytes (0 = skip batch estimate)")
 		procs  = flag.Int("procs", 64, "process count for the batch estimate")
 		layers = flag.Int("layers", 4, "layer count for the batch estimate")
+		gridSh = flag.String("grid", "", "per-block hypersparsity report for a RxCxL process grid, e.g. 2x2x16 (R must equal C)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,6 +70,109 @@ func main() {
 			fmt.Println("  (inputs alone exceed the budget)")
 		}
 	}
+
+	if *gridSh != "" {
+		q, l, err := parseGrid(*gridSh)
+		if err != nil {
+			fatal(err)
+		}
+		b := a
+		if a.Rows != a.Cols {
+			b = spmat.Transpose(a)
+		}
+		fmt.Printf("\nper-block hypersparsity on the %dx%dx%d grid (p = %d):\n", q, q, l, q*q*l)
+		reportBlocks("A-style blocks (Ã of A)", aBlocks(a, q, l))
+		reportBlocks("B-style blocks (B̃ of the pair operand)", bBlocks(b, q, l))
+	}
+}
+
+// parseGrid parses "RxCxL" with R == C, rejecting trailing garbage.
+func parseGrid(s string) (q, l int, err error) {
+	var r, c int
+	if _, err := fmt.Sscanf(s, "%dx%dx%d", &r, &c, &l); err != nil ||
+		fmt.Sprintf("%dx%dx%d", r, c, l) != s {
+		return 0, 0, fmt.Errorf("bad -grid %q (want RxCxL, e.g. 2x2x16)", s)
+	}
+	if r != c || r < 1 || l < 1 {
+		return 0, 0, fmt.Errorf("bad -grid %q: the paper's grids are square per layer (R = C ≥ 1, L ≥ 1)", s)
+	}
+	return r, l, nil
+}
+
+// allBlocks extracts every (i, j, k) local block of one distribution.
+func allBlocks(q, l int, local func(i, j, k int) *spmat.CSC) []*spmat.CSC {
+	out := make([]*spmat.CSC, 0, q*q*l)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			for k := 0; k < l; k++ {
+				out = append(out, local(i, j, k))
+			}
+		}
+	}
+	return out
+}
+
+// aBlocks extracts every local block of the A-style distribution.
+func aBlocks(a *spmat.CSC, q, l int) []*spmat.CSC {
+	d := distmat.NewADist(a.Rows, a.Cols, q, l)
+	return allBlocks(q, l, func(i, j, k int) *spmat.CSC { return d.Local(a, i, j, k) })
+}
+
+// bBlocks extracts every local block of the B-style distribution.
+func bBlocks(b *spmat.CSC, q, l int) []*spmat.CSC {
+	d := distmat.NewBDist(b.Rows, b.Cols, q, l)
+	return allBlocks(q, l, func(i, j, k int) *spmat.CSC { return d.Local(b, i, j, k) })
+}
+
+// reportBlocks prints the hypersparsity summary of one distribution's
+// blocks: occupancy, nnz per occupied column, both storage footprints, and
+// the auto heuristic's verdict.
+func reportBlocks(title string, blocks []*spmat.CSC) {
+	var (
+		hyper                  int
+		totNNZ, totNE, totCols int64
+		cscBytes, dcscBytes    int64
+		minOcc, maxOcc         = 1.0, 0.0
+	)
+	for _, blk := range blocks {
+		ne := blk.NonEmptyCols()
+		totNNZ += blk.NNZ()
+		totNE += ne
+		totCols += int64(blk.Cols)
+		cscBytes += blk.MemBytes()
+		dcscBytes += blk.ToDCSC().MemBytes()
+		if spmat.Hypersparse(ne, blk.Cols) {
+			hyper++
+		}
+		if blk.Cols > 0 {
+			occ := float64(ne) / float64(blk.Cols)
+			if occ < minOcc {
+				minOcc = occ
+			}
+			if occ > maxOcc {
+				maxOcc = occ
+			}
+		}
+	}
+	nnzPerCol := 0.0
+	if totNE > 0 {
+		nnzPerCol = float64(totNNZ) / float64(totNE)
+	}
+	fmt.Printf("  %s:\n", title)
+	fmt.Printf("    blocks:                 %d (%d hypersparse: auto picks dcsc, %d stay csc)\n",
+		len(blocks), hyper, len(blocks)-hyper)
+	fmt.Printf("    column occupancy:       %.1f%% mean (%.1f%%–%.1f%% per block)\n",
+		100*float64(totNE)/float64(max64(totCols, 1)), 100*minOcc, 100*maxOcc)
+	fmt.Printf("    nnz / occupied column:  %.2f\n", nnzPerCol)
+	fmt.Printf("    footprint (all blocks): csc %.1f KB, dcsc %.1f KB (%.2fx)\n",
+		float64(cscBytes)/1e3, float64(dcscBytes)/1e3, float64(cscBytes)/float64(max64(dcscBytes, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func fatal(err error) {

@@ -11,6 +11,8 @@
 //	spgemm-bench -exp fig6 -threads 8         # multithreaded local kernels
 //	spgemm-bench -exp fig6 -pipeline          # fully-overlapped schedule
 //	spgemm-bench -exp pipeline                # staged-vs-overlapped ablation
+//	spgemm-bench -exp fig6 -format dcsc       # force doubly-compressed blocks
+//	spgemm-bench -exp hypersparse             # CSC-vs-DCSC storage ablation
 //
 //	spgemm-bench -gate -json BENCH_pr3.json                            # emit the stats dump
 //	spgemm-bench -gate -json BENCH_pr3.json -baseline BENCH_baseline.json
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/spmat"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 		machine  = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
 		threads  = flag.Int("threads", 1, "worker goroutines per rank in local multiply/merge kernels (1 = serial, the published figure shapes)")
 		pipeline = flag.Bool("pipeline", false, "fully-overlapped schedule: prefetch stage broadcasts within and across batches and hide the fiber AllToAll behind Merge-Layer (off = the paper's staged schedule)")
+		format   = flag.String("format", "auto", "in-memory block storage: csc | dcsc | auto (auto compresses a block to DCSC when fewer than half its columns are occupied)")
 		gate     = flag.Bool("gate", false, "run the deterministic perf-regression gate on pinned fig-6/8 shapes instead of an experiment")
 		jsonPath = flag.String("json", "", "with -gate: write the stats dump (BENCH_pr3.json) to this path")
 		baseline = flag.String("baseline", "", "with -gate: compare against this checked-in baseline and exit nonzero on regression")
@@ -67,7 +71,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Verbose: *verbose}
+	fmtKnob, err := spmat.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Format: fmtKnob, Verbose: *verbose}
 
 	var list []*experiments.Experiment
 	if *exp == "all" {

@@ -62,13 +62,13 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	// last stage, and the column roots need the extracted piece as the send
 	// buffer by then. The staged schedule keeps the old one-piece-at-a-time
 	// footprint and extracts lazily.
-	extract := func(t int) *spmat.CSC {
-		return spmat.ColSelect(p.LocalB, p.bt.BatchCols(t))
+	extract := func(t int) spmat.Matrix {
+		return spmat.MatColSelect(p.LocalB, p.bt.BatchCols(t))
 	}
 	pieces := make([]*spmat.CSC, 0, b)
 	bCur := extract(0)
 	for t := 0; t < b; t++ {
-		var bNext *spmat.CSC
+		var bNext spmat.Matrix
 		if p.Opts.Pipeline && t+1 < b {
 			bNext = extract(t + 1)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/localmm"
 	"repro/internal/semiring"
+	"repro/internal/spmat"
 )
 
 // Step category names used with the per-rank meters. They match the paper's
@@ -105,6 +106,19 @@ type Options struct {
 	// ColSplit packing before the fiber exchange is now metered as
 	// Merge-Layer compute, so compute attribution gained that share).
 	Pipeline bool
+	// Format selects the in-memory storage of every local block:
+	// spmat.FormatCSC (dense column pointers, the pre-format-knob behavior),
+	// spmat.FormatDCSC (doubly compressed), or spmat.FormatAuto — the zero
+	// value and default — which compresses a block exactly when fewer than
+	// half its columns are occupied (the hypersparse wire threshold). The
+	// knob never changes output values or communication volume: the wire
+	// encoding is chosen by occupancy alone, and the kernels visit columns
+	// in the same order either way. What it changes is the in-memory and
+	// modeled cost: DCSC blocks drop the O(cols) per-block metadata from
+	// kernels, splits, and work-unit accounting, and their smaller modeled
+	// footprint lets the symbolic step pick fewer batches under the same
+	// MemBytes (less fiber AllToAll re-broadcast volume).
+	Format spmat.Format
 	// IncrementalMerge folds each SUMMA stage's product into a running
 	// accumulator instead of keeping all stage outputs and merging once
 	// after the last stage. The paper deliberately merges once (Sec. III-A:

@@ -285,7 +285,7 @@ func TestStagedBcastMeteringMatchesBlockingReference(t *testing.T) {
 		}
 		c0, c1 := proc.DB.ColRangeOf(g.J)
 		bt := distmat.NewBatching(c1-c0, 1, g.L)
-		bBatch := spmat.ColSelect(proc.LocalB, bt.BatchCols(0))
+		bBatch := spmat.MatColSelect(proc.LocalB, bt.BatchCols(0))
 		meter := g.World.Meter()
 		for s := 0; s < g.Q; s++ {
 			meter.SetCategory(StepABcast)

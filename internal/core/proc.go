@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/distmat"
 	"repro/internal/grid"
+	"repro/internal/localmm"
 	"repro/internal/spmat"
 )
 
@@ -18,8 +19,9 @@ type Proc struct {
 	DA *distmat.ADist
 	DB *distmat.BDist
 
-	// LocalA and LocalB are this rank's pieces.
-	LocalA, LocalB *spmat.CSC
+	// LocalA and LocalB are this rank's pieces, stored per Opts.Format
+	// (CSC, DCSC, or the per-block auto heuristic).
+	LocalA, LocalB spmat.Matrix
 
 	// bt is the block-cyclic batching of this rank's B block column; set
 	// once b is known.
@@ -44,17 +46,22 @@ func Setup(g *grid.Grid3D, a, b *spmat.CSC, opts Options) (*Proc, error) {
 		DA:   distmat.NewADist(a.Rows, a.Cols, g.Q, g.L),
 		DB:   distmat.NewBDist(b.Rows, b.Cols, g.Q, g.L),
 	}
-	p.LocalA = p.DA.Local(a, g.I, g.J, g.K)
-	p.LocalB = p.DB.Local(b, g.I, g.J, g.K)
+	p.LocalA = p.DA.LocalMat(a, g.I, g.J, g.K, opts.Format)
+	p.LocalB = p.DB.LocalMat(b, g.I, g.J, g.K, opts.Format)
 	return p, nil
 }
 
 // SetupLocal wires a Proc from already-local pieces (used when a pipeline
 // keeps matrices distributed between operations, e.g. Markov clustering
 // iterations). The descriptors must describe the same global shapes on the
-// same grid.
-func SetupLocal(g *grid.Grid3D, da *distmat.ADist, db *distmat.BDist, localA, localB *spmat.CSC, opts Options) *Proc {
-	return &Proc{G: g, Opts: opts.withDefaults(), DA: da, DB: db, LocalA: localA, LocalB: localB}
+// same grid. The pieces are re-stored per opts.Format.
+func SetupLocal(g *grid.Grid3D, da *distmat.ADist, db *distmat.BDist, localA, localB spmat.Matrix, opts Options) *Proc {
+	opts = opts.withDefaults()
+	return &Proc{
+		G: g, Opts: opts, DA: da, DB: db,
+		LocalA: spmat.WithFormat(localA, opts.Format),
+		LocalB: spmat.WithFormat(localB, opts.Format),
+	}
 }
 
 // Result is one rank's output of BatchedSUMMA3D.
@@ -110,23 +117,37 @@ func AssembleResults(results []*Result, rows, cols int32) (*spmat.CSC, error) {
 	return spmat.FromTriples(rows, cols, ts, nil)
 }
 
-// kernelFn returns the configured local-multiply function. Opts.Threads > 1
-// runs the two-phase parallel kernel; the workers execute inside the caller's
-// MeasureCompute token, so the single-token gate still serializes ranks and
-// intra-rank speedup shows up as shorter measured compute time.
-func (p *Proc) kernelFn() func(a, b *spmat.CSC) *spmat.CSC {
+// kernelFn returns the configured local-multiply function, generic over the
+// storage format (localmm.MulMat dispatches to the CSC fast path when both
+// operands are CSC). Opts.Threads > 1 runs the two-phase parallel kernel;
+// the workers execute inside the caller's MeasureCompute token, so the
+// single-token gate still serializes ranks and intra-rank speedup shows up
+// as shorter measured compute time.
+func (p *Proc) kernelFn() func(a, b spmat.Matrix) spmat.Matrix {
 	k, sr, threads := p.Opts.Kernel, p.Opts.Semiring, p.Opts.Threads
-	fn := k.Func()
-	return func(a, b *spmat.CSC) *spmat.CSC {
-		return fn(a, b, sr, threads)
+	return func(a, b spmat.Matrix) spmat.Matrix {
+		return localmm.MulMat(k, a, b, sr, threads)
 	}
 }
 
 // mergeFn returns the configured merge function, parallelized the same way as
-// kernelFn when Opts.Threads > 1.
-func (p *Proc) mergeFn() func(mats []*spmat.CSC, sorted bool) *spmat.CSC {
+// kernelFn when Opts.Threads > 1 and format-generic like it (Merge-Fiber can
+// see mixed formats under the auto heuristic).
+func (p *Proc) mergeFn() func(mats []spmat.Matrix, sorted bool) spmat.Matrix {
 	mg, sr, threads := p.Opts.Merger, p.Opts.Semiring, p.Opts.Threads
-	return func(mats []*spmat.CSC, sorted bool) *spmat.CSC {
-		return mg.Merge(mats, sr, sorted, threads)
+	return func(mats []spmat.Matrix, sorted bool) spmat.Matrix {
+		return localmm.MergeMat(mg, mats, sr, sorted, threads)
 	}
+}
+
+// colScanWork is the column-metadata share of a block's modeled work: the
+// dense column count for CSC, the stored-column count for DCSC. This is the
+// O(n)-per-block term the doubly-compressed path removes from the modeled
+// critical path.
+func colScanWork(m spmat.Matrix) int64 {
+	if m.Format() == spmat.FormatDCSC {
+		return m.NonEmptyCols()
+	}
+	_, cols := m.Dims()
+	return int64(cols)
 }

@@ -22,8 +22,9 @@ type stageBcasts struct {
 // the meter; cost attribution happens when the stage is consumed
 // (waitStageBcasts). bOperand is this rank's B piece to contribute when it
 // is the column root (the batch piece for SUMMA, the full local B for the
-// symbolic pass).
-func (p *Proc) postStageBcasts(s int, bOperand *spmat.CSC) stageBcasts {
+// symbolic pass). Payloads keep their in-memory format: the simulated wire
+// size (CommBytes) depends only on occupancy, never on the format knob.
+func (p *Proc) postStageBcasts(s int, bOperand spmat.Matrix) stageBcasts {
 	g := p.G
 	var aMsg mpi.Payload
 	if g.J == s {
@@ -47,7 +48,7 @@ func (p *Proc) postStageBcasts(s int, bOperand *spmat.CSC) stageBcasts {
 // categories, the exposed remainder to aCat/bCat. The two broadcasts drain
 // the same window — a stage's compute can only hide that much communication,
 // no matter how it is split between A and B.
-func (p *Proc) waitStageBcasts(sb stageBcasts, aCat, aHidden, bCat, bHidden string) (aRecv, bRecv *spmat.CSC) {
+func (p *Proc) waitStageBcasts(sb stageBcasts, aCat, aHidden, bCat, bHidden string) (aRecv, bRecv spmat.Matrix) {
 	meter := p.G.World.Meter()
 	led := &p.pipe.ledger
 	meter.SetCategory(aCat)
@@ -56,7 +57,7 @@ func (p *Proc) waitStageBcasts(sb stageBcasts, aCat, aHidden, bCat, bHidden stri
 	meter.SetCategory(bCat)
 	bPay, used := sb.b.WaitOverlap(led.creditSince(sb.post), bHidden)
 	led.claim(sb.post, used)
-	return aPay.(*spmat.CSC), bPay.(*spmat.CSC)
+	return aPay.(spmat.Matrix), bPay.(spmat.Matrix)
 }
 
 // forEachStage runs the q broadcast+multiply stages of Alg 1 over bBatch,
@@ -74,7 +75,7 @@ func (p *Proc) waitStageBcasts(sb stageBcasts, aCat, aHidden, bCat, bHidden stri
 // exchange. Without Pipeline, each stage posts and immediately waits,
 // metering exactly the paper's staged schedule (an IbcastStart + Wait pair
 // charges identically to the blocking Bcast).
-func (p *Proc) forEachStage(bBatch, bNextBatch *spmat.CSC, res *Result, consume func(prod *spmat.CSC)) {
+func (p *Proc) forEachStage(bBatch, bNextBatch spmat.Matrix, res *Result, consume func(prod spmat.Matrix)) {
 	g := p.G
 	meter := g.World.Meter()
 	stages := g.Q
@@ -107,31 +108,33 @@ func (p *Proc) forEachStage(bBatch, bNextBatch *spmat.CSC, res *Result, consume 
 			}
 		}
 
-		stageFlops := localmm.Flops(aRecv, bRecv)
+		stageFlops := localmm.MatFlops(aRecv, bRecv)
 		res.LocalFlops += stageFlops
 
 		// Local multiply (Alg 1 line 7). Work units = flops plus the operand
 		// traversal cost, so empty products still carry their column-scan
-		// work. With Opts.Threads > 1 the kernel's workers all run inside
-		// this rank's MeasureCompute token: the single-token gate still
-		// serializes ranks, so intra-rank parallelism appears as shorter
-		// measured compute, exactly the paper's 16-threads-per-process
-		// configuration.
+		// work — the dense column count for CSC operands, only the stored
+		// columns for DCSC (the O(n)-per-block term the compressed format
+		// removes from the modeled critical path). With Opts.Threads > 1 the
+		// kernel's workers all run inside this rank's MeasureCompute token:
+		// the single-token gate still serializes ranks, so intra-rank
+		// parallelism appears as shorter measured compute, exactly the
+		// paper's 16-threads-per-process configuration.
 		meter.SetCategory(StepLocalMult)
-		var prod *spmat.CSC
+		var prod spmat.Matrix
 		sec := p.measure(func() {
 			prod = p.kernelFn()(aRecv, bRecv)
 		})
-		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
+		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+colScanWork(bRecv)+1)
 		consume(prod)
 	}
 }
 
 // stageProducts runs the stage loop and collects every stage's partial
 // product (the non-incremental merge strategy's input).
-func (p *Proc) stageProducts(bBatch, bNextBatch *spmat.CSC, res *Result) (partial []*spmat.CSC, unmerged int64) {
-	partial = make([]*spmat.CSC, 0, p.G.Q)
-	p.forEachStage(bBatch, bNextBatch, res, func(prod *spmat.CSC) {
+func (p *Proc) stageProducts(bBatch, bNextBatch spmat.Matrix, res *Result) (partial []spmat.Matrix, unmerged int64) {
+	partial = make([]spmat.Matrix, 0, p.G.Q)
+	p.forEachStage(bBatch, bNextBatch, res, func(prod spmat.Matrix) {
 		partial = append(partial, prod)
 		unmerged += prod.NNZ()
 	})
@@ -141,12 +144,20 @@ func (p *Proc) stageProducts(bBatch, bNextBatch *spmat.CSC, res *Result) (partia
 	return partial, unmerged
 }
 
+// emptyLike returns an empty rows×cols matrix in m's concrete format.
+func emptyLike(m spmat.Matrix, rows, cols int32) spmat.Matrix {
+	if m.Format() == spmat.FormatDCSC {
+		return spmat.NewDCSC(rows, cols)
+	}
+	return spmat.New(rows, cols)
+}
+
 // summa2D executes Alg 1 on this rank's layer for one batch piece of B:
 // q stages of broadcasts and local multiplies, then a single Merge-Layer
 // (the paper merges once after all stages; see Sec. III-A). With
 // Options.IncrementalMerge the stage products are folded into a running
 // accumulator instead — lower peak memory, more merge work.
-func (p *Proc) summa2D(bBatch, bNextBatch *spmat.CSC, res *Result) *spmat.CSC {
+func (p *Proc) summa2D(bBatch, bNextBatch spmat.Matrix, res *Result) spmat.Matrix {
 	if p.Opts.IncrementalMerge {
 		return p.summa2DIncremental(bBatch, bNextBatch, res)
 	}
@@ -156,11 +167,11 @@ func (p *Proc) summa2D(bBatch, bNextBatch *spmat.CSC, res *Result) *spmat.CSC {
 	// Merge-Fiber output must be sorted (Sec. IV-D).
 	meter := p.G.World.Meter()
 	meter.SetCategory(StepMergeLayer)
-	var d *spmat.CSC
+	var d spmat.Matrix
 	mergeSec := p.measure(func() {
 		d = p.mergeFn()(partial, false)
 	})
-	meter.AddComputeWork(mergeSec, unmerged+int64(bBatch.Cols)+1)
+	meter.AddComputeWork(mergeSec, unmerged+colScanWork(bBatch)+1)
 	res.MergedLayerNNZ += d.NNZ()
 	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged+d.NNZ())
 	return d
@@ -171,11 +182,11 @@ func (p *Proc) summa2D(bBatch, bNextBatch *spmat.CSC, res *Result) *spmat.CSC {
 // the accumulator are live simultaneously. The per-stage merge time joins
 // the overlap credit through the ledger: in pipelined mode the next stage's
 // broadcasts hide behind multiply and merge alike.
-func (p *Proc) summa2DIncremental(bBatch, bNextBatch *spmat.CSC, res *Result) *spmat.CSC {
+func (p *Proc) summa2DIncremental(bBatch, bNextBatch spmat.Matrix, res *Result) spmat.Matrix {
 	g := p.G
 	meter := g.World.Meter()
-	var acc *spmat.CSC
-	p.forEachStage(bBatch, bNextBatch, res, func(prod *spmat.CSC) {
+	var acc spmat.Matrix
+	p.forEachStage(bBatch, bNextBatch, res, func(prod spmat.Matrix) {
 		res.UnmergedNNZ += prod.NNZ()
 		if acc == nil {
 			acc = prod
@@ -185,8 +196,8 @@ func (p *Proc) summa2DIncremental(bBatch, bNextBatch *spmat.CSC, res *Result) *s
 		meter.SetCategory(StepMergeLayer)
 		work := acc.NNZ() + prod.NNZ()
 		p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+work)
-		pair := []*spmat.CSC{acc, prod}
-		var merged *spmat.CSC
+		pair := []spmat.Matrix{acc, prod}
+		var merged spmat.Matrix
 		sec := p.measure(func() {
 			merged = p.mergeFn()(pair, false)
 		})
@@ -194,7 +205,9 @@ func (p *Proc) summa2DIncremental(bBatch, bNextBatch *spmat.CSC, res *Result) *s
 		acc = merged
 	})
 	if acc == nil {
-		acc = spmat.New(p.LocalA.Rows, bBatch.Cols)
+		ar, _ := p.LocalA.Dims()
+		_, bc := bBatch.Dims()
+		acc = emptyLike(bBatch, ar, bc)
 	}
 	res.MergedLayerNNZ += acc.NNZ()
 	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+acc.NNZ())
@@ -207,7 +220,7 @@ func (p *Proc) summa2DIncremental(bBatch, bNextBatch *spmat.CSC, res *Result) *s
 // on the last batch, used by the pipelined schedule's cross-batch prefetch.
 // Returns the local batch output (sorted) and the local column offsets
 // (within this rank's block column) it covers.
-func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (*spmat.CSC, []int32) {
+func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch spmat.Matrix, res *Result) (*spmat.CSC, []int32) {
 	if p.Opts.Pipeline {
 		return p.summa3DBatchOverlapped(t, bBatch, bNextBatch, res)
 	}
@@ -222,9 +235,9 @@ func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (
 	// step only at the collective itself, keeping packing time out of the
 	// communication attribution.
 	meter.SetCategory(StepMergeLayer)
-	var pieces []*spmat.CSC
+	var pieces []spmat.Matrix
 	packSec := p.measure(func() {
-		pieces, _ = p.bt.SplitByLayer(d, t)
+		pieces, _ = p.bt.SplitByLayerMat(d, t)
 	})
 	meter.AddComputeWork(packSec, d.NNZ()+int64(g.L)+1)
 	send := make([]mpi.Payload, g.L)
@@ -235,7 +248,8 @@ func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (
 	// AllToAll along the fiber (Alg 2 line 5).
 	meter.SetCategory(StepAllToAll)
 	recv := g.Fiber.AllToAllv(send)
-	return p.mergeFiber(t, d.Rows, recv, res)
+	dRows, _ := d.Dims()
+	return p.mergeFiber(t, dRows, recv, res)
 }
 
 // summa3DBatchOverlapped is summa3DBatch on the fully-overlapped schedule
@@ -246,7 +260,7 @@ func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (
 // complete while the own-layer share still runs: that merge time becomes
 // overlap credit and the hidden share of the AllToAll cost is charged to
 // StepAllToAllHidden.
-func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res *Result) (*spmat.CSC, []int32) {
+func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, res *Result) (*spmat.CSC, []int32) {
 	g := p.G
 	meter := g.World.Meter()
 	led := &p.pipe.ledger
@@ -259,9 +273,9 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res 
 		// the non-incremental variant.
 		acc := p.summa2DIncremental(bBatch, bNextBatch, res)
 		meter.SetCategory(StepMergeLayer)
-		var pieces []*spmat.CSC
+		var pieces []spmat.Matrix
 		packSec := p.measure(func() {
-			pieces, _ = p.bt.SplitByLayer(acc, t)
+			pieces, _ = p.bt.SplitByLayerMat(acc, t)
 		})
 		meter.AddComputeWork(packSec, acc.NNZ()+int64(g.L)+1)
 		send := make([]mpi.Payload, g.L)
@@ -276,7 +290,8 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res 
 		recv, used := req.WaitOverlap(led.creditSince(post), StepAllToAllHidden)
 		led.claim(post, used)
 		recv[g.K] = pieces[g.K] // the own piece never travels
-		return p.mergeFiber(t, acc.Rows, recv, res)
+		accRows, _ := acc.Dims()
+		return p.mergeFiber(t, accRows, recv, res)
 	}
 
 	partial, unmerged := p.stageProducts(bBatch, bNextBatch, res)
@@ -288,10 +303,10 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res 
 	// so each merged piece is bit-identical to the corresponding column
 	// selection of the staged schedule's single Merge-Layer output.
 	meter.SetCategory(StepMergeLayer)
-	perDest := make([][]*spmat.CSC, g.L)
+	perDest := make([][]spmat.Matrix, g.L)
 	packSec := p.measure(func() {
 		for _, prod := range partial {
-			pieces, _ := p.bt.SplitByLayer(prod, t)
+			pieces, _ := p.bt.SplitByLayerMat(prod, t)
 			for m := 0; m < g.L; m++ {
 				perDest[m] = append(perDest[m], pieces[m])
 			}
@@ -299,16 +314,16 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res 
 	})
 	meter.AddComputeWork(packSec, unmerged+int64(g.L)+1)
 
-	mergeDest := func(m int) *spmat.CSC {
+	mergeDest := func(m int) spmat.Matrix {
 		var in int64
 		for _, piece := range perDest[m] {
 			in += piece.NNZ()
 		}
-		var out *spmat.CSC
+		var out spmat.Matrix
 		sec := p.measure(func() {
 			out = p.mergeFn()(perDest[m], false)
 		})
-		meter.AddComputeWork(sec, in+int64(out.Cols)+1)
+		meter.AddComputeWork(sec, in+colScanWork(out)+1)
 		return out
 	}
 
@@ -336,23 +351,28 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch *spmat.CSC, res 
 	recv, used := req.WaitOverlap(led.creditSince(post), StepAllToAllHidden)
 	led.claim(post, used)
 	recv[g.K] = own // the own piece never travels
-	return p.mergeFiber(t, own.Rows, recv, res)
+	ownRows, _ := own.Dims()
+	return p.mergeFiber(t, ownRows, recv, res)
 }
 
 // mergeFiber is Merge-Fiber (Alg 2 line 6), shared by the staged and
 // overlapped schedules: the final output is sorted here and only here
 // (Sec. IV-D). recv is indexed by source layer; nil entries carry nothing.
+// Received pieces keep whatever format their source rank stored them in —
+// under the auto heuristic the operands can mix formats — and the batch
+// output is delivered in CSC: it is the user-facing piece (hooks, HCat into
+// Result.C), and its column count is this rank's small share of one batch.
 func (p *Proc) mergeFiber(t int, rows int32, recv []mpi.Payload, res *Result) (*spmat.CSC, []int32) {
 	g := p.G
 	meter := g.World.Meter()
 	meter.SetCategory(StepMergeFiber)
-	mats := make([]*spmat.CSC, 0, g.L)
+	mats := make([]spmat.Matrix, 0, g.L)
 	var recvNNZ int64
 	for _, r := range recv {
 		if r == nil {
 			continue
 		}
-		m := r.(*spmat.CSC)
+		m := r.(spmat.Matrix)
 		mats = append(mats, m)
 		recvNNZ += m.NNZ()
 	}
@@ -361,7 +381,7 @@ func (p *Proc) mergeFiber(t int, rows int32, recv []mpi.Payload, res *Result) (*
 		if len(mats) == 0 {
 			c = spmat.New(rows, 0)
 		} else {
-			c = p.mergeFn()(mats, true)
+			c = p.mergeFn()(mats, true).ToCSC()
 		}
 	})
 	meter.AddComputeWork(fiberSec, recvNNZ+1)

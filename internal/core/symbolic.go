@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/grid"
 	"repro/internal/localmm"
 	"repro/internal/mpi"
+	"repro/internal/spmat"
 )
 
 // Symbolic3D executes Algorithm 3: the communication-avoiding distributed
@@ -48,36 +51,44 @@ func (p *Proc) Symbolic3D() (b int, maxNNZC int64, err error) {
 			next = p.postStageBcasts(s+1, p.LocalB)
 		}
 
-		symFlops := localmm.Flops(aRecv, bRecv)
+		symFlops := localmm.MatFlops(aRecv, bRecv)
 		symSec := p.measure(func() {
 			// LOCALSYMBOLIC (Alg 3 line 7), threaded like the numeric
 			// kernels when Opts.Threads > 1.
-			localNNZ += localmm.ParallelSymbolicSpGEMM(aRecv, bRecv, p.Opts.Threads)
+			localNNZ += localmm.SymbolicMat(aRecv, bRecv, p.Opts.Threads)
 		})
-		meter.AddComputeWork(symSec, symFlops+bRecv.NNZ()+int64(bRecv.Cols)+1)
+		meter.AddComputeWork(symSec, symFlops+bRecv.NNZ()+colScanWork(bRecv)+1)
 	}
 
 	// Alg 3 lines 9–11: max unmerged output, max Ã, max B̃ over all ranks.
+	// The input terms are the per-format modeled footprints, not flat
+	// r·nnz: a doubly-compressed block charges only its stored columns, so
+	// hypersparse inputs leave more per-process headroom and the decision
+	// lands on fewer batches under the same MemBytes.
+	// (spmat.BlockMemBytes: flat r·nnz for CSC so pre-format-knob
+	// decisions reproduce bit-for-bit; explicit per-stored-column
+	// accounting for DCSC.)
 	maxNNZC = g.World.AllreduceInt64(localNNZ, mpi.OpMax)
-	maxNNZA := g.World.AllreduceInt64(p.LocalA.NNZ(), mpi.OpMax)
-	maxNNZB := g.World.AllreduceInt64(p.LocalB.NNZ(), mpi.OpMax)
+	maxMemA := g.World.AllreduceInt64(spmat.BlockMemBytes(p.LocalA, p.Opts.BytesPerNnz), mpi.OpMax)
+	maxMemB := g.World.AllreduceInt64(spmat.BlockMemBytes(p.LocalB, p.Opts.BytesPerNnz), mpi.OpMax)
 
-	b, err = batchesFor(maxNNZC, maxNNZA, maxNNZB, p.Opts, g.P())
+	b, err = batchesFor(maxNNZC, maxMemA, maxMemB, p.Opts, g.P())
 	return b, maxNNZC, err
 }
 
-// batchesFor evaluates Alg 3 line 12: b = ⌈r·maxnnzC / (M/p − r·(maxnnzA +
-// maxnnzB))⌉, clamped to at least 1. An unconstrained memory budget yields 1.
-func batchesFor(maxNNZC, maxNNZA, maxNNZB int64, opts Options, p int) (int, error) {
+// batchesFor evaluates Alg 3 line 12: b = ⌈r·maxnnzC / (M/p − (memA +
+// memB))⌉, clamped to at least 1, where memA/memB are the per-format input
+// footprints. An unconstrained memory budget yields 1.
+func batchesFor(maxNNZC, maxMemA, maxMemB int64, opts Options, p int) (int, error) {
 	if opts.MemBytes <= 0 {
 		return 1, nil
 	}
 	r := opts.BytesPerNnz
 	perProc := float64(opts.MemBytes) / float64(p)
-	avail := perProc - float64(r*(maxNNZA+maxNNZB))
+	avail := perProc - float64(maxMemA+maxMemB)
 	if avail <= 0 {
 		return 0, fmt.Errorf("core: inputs alone exceed the memory budget: per-process %g bytes, inputs need %d",
-			perProc, r*(maxNNZA+maxNNZB))
+			perProc, maxMemA+maxMemB)
 	}
 	b := int((float64(r*maxNNZC) + avail - 1) / avail)
 	if b < 1 {
@@ -87,6 +98,39 @@ func batchesFor(maxNNZC, maxNNZA, maxNNZB int64, opts Options, p int) (int, erro
 		b = opts.MaxBatches
 	}
 	return b, nil
+}
+
+// SymbolicBatches runs only the distributed symbolic step (Alg 3) on a
+// fresh simulated cluster and returns the agreed batch count — the host-side
+// entry point for studying the batch decision (e.g. CSC-vs-DCSC footprint
+// ablations) without paying for the numeric phases.
+func SymbolicBatches(a, b *spmat.CSC, rc RunConfig) (int, error) {
+	if err := rc.Validate(); err != nil {
+		return 0, err
+	}
+	bs := make([]int, rc.P)
+	errs := make([]error, rc.P)
+	var mu sync.Mutex
+	mpi.Run(rc.P, rc.Cost, func(c *mpi.Comm) {
+		g, err := grid.New(c, rc.L)
+		var nb int
+		if err == nil {
+			var proc *Proc
+			proc, err = Setup(g, a, b, rc.Opts)
+			if err == nil {
+				nb, _, err = proc.Symbolic3D()
+			}
+		}
+		mu.Lock()
+		bs[c.Rank()], errs[c.Rank()] = nb, err
+		mu.Unlock()
+	})
+	for r, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+	return bs[0], nil
 }
 
 // BatchLowerBound evaluates the analytic lower bound of Eq 2 on the host:

@@ -116,29 +116,32 @@ func TestSymbolicBatchBoundary(t *testing.T) {
 }
 
 // TestBatchesForBoundary exercises the decision formula directly at the
-// flip, including the cap and the inputs-don't-fit error.
+// flip, including the cap and the inputs-don't-fit error. batchesFor takes
+// the input terms as modeled bytes (per-format footprints); the CSC
+// footprint is r·nnz, which is what this test feeds it.
 func TestBatchesForBoundary(t *testing.T) {
 	const r = 24
 	opts := Options{BytesPerNnz: r}
 	const maxC, maxA, maxB, p = 1000, 100, 100, 4
+	memA, memB := int64(r*maxA), int64(r*maxB)
 	boundary := int64(p) * r * (maxC + maxA + maxB)
 
 	opts.MemBytes = boundary
-	if b, err := batchesFor(maxC, maxA, maxB, opts, p); err != nil || b != 1 {
+	if b, err := batchesFor(maxC, memA, memB, opts, p); err != nil || b != 1 {
 		t.Errorf("at boundary: b=%d err=%v, want 1", b, err)
 	}
 	opts.MemBytes = boundary - p
-	if b, err := batchesFor(maxC, maxA, maxB, opts, p); err != nil || b != 2 {
+	if b, err := batchesFor(maxC, memA, memB, opts, p); err != nil || b != 2 {
 		t.Errorf("just below boundary: b=%d err=%v, want 2", b, err)
 	}
 	opts.MemBytes = boundary - p
 	opts.MaxBatches = 1
-	if b, err := batchesFor(maxC, maxA, maxB, opts, p); err != nil || b != 1 {
+	if b, err := batchesFor(maxC, memA, memB, opts, p); err != nil || b != 1 {
 		t.Errorf("capped: b=%d err=%v, want 1", b, err)
 	}
 	opts.MaxBatches = 0
-	opts.MemBytes = int64(p) * r * (maxA + maxB) // inputs alone consume everything
-	if _, err := batchesFor(maxC, maxA, maxB, opts, p); err == nil {
+	opts.MemBytes = int64(p) * (memA + memB) // inputs alone consume everything
+	if _, err := batchesFor(maxC, memA, memB, opts, p); err == nil {
 		t.Error("inputs exactly exhausting the budget: want error, got none")
 	}
 }

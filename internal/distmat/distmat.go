@@ -64,6 +64,13 @@ func (d *ADist) Local(global *spmat.CSC, i, j, k int) *spmat.CSC {
 	return spmat.RowRange(spmat.ColRange(global, c0, c1), r0, r1)
 }
 
+// LocalMat extracts the piece owned by (i, j, k) and stores it per f —
+// a doubly-compressed block when the auto heuristic fires (the q·l-way
+// column split is exactly what drives local blocks hypersparse at scale).
+func (d *ADist) LocalMat(global *spmat.CSC, i, j, k int, f spmat.Format) spmat.Matrix {
+	return spmat.WithFormat(d.Local(global, i, j, k), f)
+}
+
 func (d *ADist) check(global *spmat.CSC) {
 	if global.Rows != d.Rows || global.Cols != d.Cols {
 		panic(fmt.Sprintf("distmat: matrix %v does not match layout %dx%d", global, d.Rows, d.Cols))
@@ -128,6 +135,12 @@ func (d *BDist) Local(global *spmat.CSC, i, j, k int) *spmat.CSC {
 	r0, r1 := d.RowSliceOf(i, k)
 	c0, c1 := d.ColRangeOf(j)
 	return spmat.RowRange(spmat.ColRange(global, c0, c1), r0, r1)
+}
+
+// LocalMat extracts the piece owned by (i, j, k) and stores it per f (see
+// ADist.LocalMat).
+func (d *BDist) LocalMat(global *spmat.CSC, i, j, k int, f spmat.Format) spmat.Matrix {
+	return spmat.WithFormat(d.Local(global, i, j, k), f)
 }
 
 // Assemble reconstructs the global matrix from per-coordinate local pieces.
@@ -198,13 +211,29 @@ func (bt Batching) BatchLayerCols(t, k int) []int32 {
 	return out
 }
 
-// SplitByLayer partitions the columns of a batch-local matrix (whose column x
-// corresponds to BatchCols(t)[x]) into l pieces by owning layer, returning
-// the pieces and, for bookkeeping, the local offsets each piece covers.
+// SplitByLayer partitions the columns of a batch-local CSC matrix into l
+// pieces by owning layer; a convenience wrapper over SplitByLayerMat for
+// callers that work in concrete CSC.
 func (bt Batching) SplitByLayer(m *spmat.CSC, t int) ([]*spmat.CSC, [][]int32) {
+	mats, offsets := bt.SplitByLayerMat(m, t)
+	pieces := make([]*spmat.CSC, len(mats))
+	for k, p := range mats {
+		pieces[k] = p.ToCSC()
+	}
+	return pieces, offsets
+}
+
+// SplitByLayerMat partitions the columns of a batch-local matrix (whose
+// column x corresponds to BatchCols(t)[x]) into l pieces by owning layer,
+// returning the pieces and, for bookkeeping, the local offsets each piece
+// covers. Each piece keeps m's concrete format, so a doubly-compressed
+// Merge-Layer output is split for the fiber AllToAll without inflating
+// dense column metadata.
+func (bt Batching) SplitByLayerMat(m spmat.Matrix, t int) ([]spmat.Matrix, [][]int32) {
 	cols := bt.BatchCols(t)
-	if int32(len(cols)) != m.Cols {
-		panic(fmt.Sprintf("distmat: batch matrix has %d cols, batching expects %d", m.Cols, len(cols)))
+	_, mc := m.Dims()
+	if int32(len(cols)) != mc {
+		panic(fmt.Sprintf("distmat: batch matrix has %d cols, batching expects %d", mc, len(cols)))
 	}
 	lists := make([][]int32, bt.L)   // indices into m's columns
 	offsets := make([][]int32, bt.L) // block-column offsets
@@ -213,9 +242,9 @@ func (bt Batching) SplitByLayer(m *spmat.CSC, t int) ([]*spmat.CSC, [][]int32) {
 		lists[k] = append(lists[k], int32(x))
 		offsets[k] = append(offsets[k], o)
 	}
-	pieces := make([]*spmat.CSC, bt.L)
+	pieces := make([]spmat.Matrix, bt.L)
 	for k := 0; k < bt.L; k++ {
-		pieces[k] = spmat.ColSelect(m, lists[k])
+		pieces[k] = spmat.MatColSelect(m, lists[k])
 	}
 	return pieces, offsets
 }

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"pipeline",
+		"hypersparse", "pipeline",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -44,7 +44,7 @@ func TestListOrdered(t *testing.T) {
 	if last.ID != "pipeline" {
 		t.Errorf("last is %s", last.ID)
 	}
-	if ids[len(ids)-2].ID != "fig15" {
+	if ids[len(ids)-2].ID != "hypersparse" {
 		t.Errorf("second to last is %s", ids[len(ids)-2].ID)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/spmat"
 )
 
 // This file implements the CI performance-regression gate: a set of pinned
@@ -32,16 +33,26 @@ type gateShape struct {
 	p, l, b  int
 	symbolic bool
 	pipeline bool
+	format   spmat.Format
 }
 
-// gateShapes are the pinned fig-6/fig-8 shapes the nightly gate runs. The
-// staged shapes are gated; the overlapped shape documents the hidden-seconds
-// ablation and is informational.
+// gateShapes are the pinned fig-6/fig-8 shapes the nightly gate runs, plus
+// the hypersparse (Rice-kmers AAᵀ) shape in both storage formats so the
+// doubly-compressed path is guarded: neither shape may regress against its
+// baseline, and CompareGate additionally enforces the cross-shape invariant
+// that the DCSC shape's modeled work units stay at or below the CSC
+// shape's (the O(cols) column-scan savings must never silently invert).
+// The staged shapes are gated; the overlapped shape documents the
+// hidden-seconds ablation and is informational. The legacy shapes pin
+// FormatCSC — their baselines predate the format knob and must stay
+// byte-identical to it.
 var gateShapes = []gateShape{
-	{name: "fig6-friendster-staged", wl: WLFriendster, p: 64, l: 16, b: 4, symbolic: true},
-	{name: "fig6-isolates-small-staged", wl: WLIsolatesSmall, p: 64, l: 16, b: 4, symbolic: true},
-	{name: "fig8-symbolic-staged", wl: WLIsolatesSmall, p: 64, l: 16, b: 1, symbolic: true},
-	{name: "fig6-friendster-overlapped", wl: WLFriendster, p: 64, l: 16, b: 4, symbolic: true, pipeline: true},
+	{name: "fig6-friendster-staged", wl: WLFriendster, p: 64, l: 16, b: 4, symbolic: true, format: spmat.FormatCSC},
+	{name: "fig6-isolates-small-staged", wl: WLIsolatesSmall, p: 64, l: 16, b: 4, symbolic: true, format: spmat.FormatCSC},
+	{name: "fig8-symbolic-staged", wl: WLIsolatesSmall, p: 64, l: 16, b: 1, symbolic: true, format: spmat.FormatCSC},
+	{name: "fig6-friendster-overlapped", wl: WLFriendster, p: 64, l: 16, b: 4, symbolic: true, pipeline: true, format: spmat.FormatCSC},
+	{name: "hyper-kmers-csc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatCSC},
+	{name: "hyper-kmers-dcsc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC},
 }
 
 // GateResult is one shape's outcome.
@@ -52,6 +63,7 @@ type GateResult struct {
 	L        int    `json:"l"`
 	B        int    `json:"b"`
 	Pipeline bool   `json:"pipeline"`
+	Format   string `json:"format"`
 	// Gated marks shapes whose ModelSeconds are compared against the
 	// baseline; overlapped shapes are informational (their exposed share
 	// depends on measured compute).
@@ -95,12 +107,13 @@ func RunGate() (*GateReport, error) {
 	machine := costmodel.CoriKNL().ScaledBeta(commAmplification(ScaleTiny))
 	rep := &GateReport{SecPerWorkUnit: GateSecPerWorkUnit}
 	for _, sh := range gateShapes {
-		a, err := Workload(sh.wl, ScaleTiny)
+		wl, err := Workload(sh.wl, ScaleTiny)
 		if err != nil {
 			return nil, err
 		}
-		opts := core.Options{RunSymbolic: sh.symbolic, Pipeline: sh.pipeline}
-		rr := runMul(a, a, sh.p, sh.l, machine, 0, sh.b, opts)
+		a, b := PairFor(wl)
+		opts := core.Options{RunSymbolic: sh.symbolic, Pipeline: sh.pipeline, Format: sh.format}
+		rr := runMul(a, b, sh.p, sh.l, machine, 0, sh.b, opts)
 		if rr.Err != nil {
 			return nil, fmt.Errorf("gate shape %s: %w", sh.name, rr.Err)
 		}
@@ -118,6 +131,7 @@ func RunGate() (*GateReport, error) {
 			L:                 sh.l,
 			B:                 sh.b,
 			Pipeline:          sh.pipeline,
+			Format:            sh.format.String(),
 			Gated:             !sh.pipeline,
 			CommSeconds:       comm,
 			WorkUnits:         work,
@@ -152,6 +166,16 @@ func CompareGate(cur, base *GateReport, tol float64) []string {
 		if limit := b.ModelSeconds * (1 + tol); c.ModelSeconds > limit {
 			bad = append(bad, fmt.Sprintf("%s: modeled critical path %.6g s exceeds baseline %.6g s by more than %.0f%%",
 				b.Name, c.ModelSeconds, b.ModelSeconds, tol*100))
+		}
+	}
+	// Cross-shape invariant: doubly-compressed storage must never do more
+	// modeled work than dense-pointer storage on the hypersparse shape —
+	// the per-shape comparisons alone would let an inversion slip through a
+	// baseline refresh.
+	if csc, dcsc := cur.Shape("hyper-kmers-csc-staged"), cur.Shape("hyper-kmers-dcsc-staged"); csc != nil && dcsc != nil {
+		if dcsc.WorkUnits > csc.WorkUnits {
+			bad = append(bad, fmt.Sprintf("hyper-kmers: DCSC work units %d exceed CSC's %d — the O(cols) column-scan savings inverted",
+				dcsc.WorkUnits, csc.WorkUnits))
 		}
 	}
 	return bad

@@ -27,6 +27,9 @@ func (o RunOpts) coreOpts(c core.Options) core.Options {
 	if o.Pipeline {
 		c.Pipeline = true
 	}
+	if c.Format == spmat.FormatAuto {
+		c.Format = o.Format
+	}
 	return c
 }
 

@@ -51,6 +51,11 @@ type RunOpts struct {
 	// (core.Options.Pipeline). Off keeps the published figure shapes — the
 	// strictly staged schedule — byte-identical.
 	Pipeline bool
+	// Format selects the in-memory block storage (core.Options.Format):
+	// csc, dcsc, or the per-block auto heuristic. The zero value is auto,
+	// the default; output values and communication volume are identical
+	// for all three.
+	Format spmat.Format
 	// Verbose experiments may add extra tables.
 	Verbose bool
 }

@@ -187,6 +187,32 @@ func Kmer(cfg KmerConfig) *spmat.CSC {
 	return m
 }
 
+// Hypersparse generates a rows×cols Erdős–Rényi-style 0/1 matrix in the
+// Rice-kmers regime (Table V): rows ≪ cols and ~nnzPerCol nonzeros in each
+// *occupied* column, with a majority (~55%) of columns left empty — real
+// k-mer tables are full of absent and singleton k-mers — so the matrix is
+// hypersparse (non-empty columns < cols/2) even before a 3D grid slices it
+// into still-sparser local blocks. This is the regime the DCSC storage
+// format and the hypersparse wire encoding exist for.
+func Hypersparse(rows, cols int32, nnzPerCol int, seed int64) *spmat.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]spmat.Triple, 0, int(cols)*nnzPerCol/2)
+	for j := int32(0); j < cols; j++ {
+		if rng.Float64() < 0.55 {
+			continue
+		}
+		k := 1 + rng.Intn(2*nnzPerCol-1) // mean ≈ nnzPerCol
+		for d := 0; d < k; d++ {
+			ts = append(ts, spmat.Triple{Row: int32(rng.Intn(int(rows))), Col: j, Val: 1})
+		}
+	}
+	m, err := spmat.FromTriples(rows, cols, ts, func(a, b float64) float64 { return 1 })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // KroneckerPower returns the k-th Kronecker power of the seed matrix —
 // the deterministic scale-free generator of the Graph500 family (R-MAT is
 // its randomized counterpart). A 2×2 seed yields a 2^k-vertex graph.

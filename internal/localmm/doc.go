@@ -42,4 +42,18 @@
 // count: each output column is computed by one worker in serial operand
 // order, so even float64 accumulation is bit-identical to the serial kernel
 // (entry order within unsorted columns aside).
+//
+// # Storage-format-generic kernels
+//
+// MulMat, SymbolicMat, MergeMat, and MatFlops run the same algorithms over
+// the spmat.Matrix storage interface. All-CSC operand sets dispatch to the
+// specialized CSC kernels above; any doubly-compressed (DCSC) operand takes
+// the hypersparse path, which iterates only the stored columns of the
+// B-side operand (or the union of stored columns, for merges) so symbolic
+// and numeric work on a hypersparse block is O(flops + nnz) with no O(cols)
+// scan or allocation anywhere. Output format follows B — the stored columns
+// of A·B are a subset of B's — and values are bit-identical to the CSC
+// kernels for every format combination, thread count, and merger, because
+// columns are visited in the same order and entries accumulate in the same
+// operand order.
 package localmm

@@ -33,13 +33,16 @@ import (
 // sorting canonicalizes it).
 
 // mmWorker is one goroutine's reusable scratch state: a hash accumulator for
-// numeric passes, a row set for symbolic passes, and a heap for the
-// heap-based kernels. Workers are pooled so repeated SUMMA stages reuse warm
-// buffers instead of reallocating per call.
+// numeric passes, a row set for symbolic passes, a heap for the heap-based
+// kernels, and the column-view scratch of the format-generic heap kernel.
+// Workers are pooled so repeated SUMMA stages reuse warm buffers instead of
+// reallocating per call.
 type mmWorker struct {
-	acc  *hashAccum
-	set  *rowSet
-	heap rowHeap
+	acc    *hashAccum
+	set    *rowSet
+	heap   rowHeap
+	aRowsV [][]int32
+	aValsV [][]float64
 }
 
 var workerPool = sync.Pool{New: func() any { return new(mmWorker) }}
@@ -94,6 +97,21 @@ func flopBounds(colWork []int64, parts int) []int32 {
 	return bounds
 }
 
+// releaseViews drops the operand-referencing column views of the generic
+// heap kernel before the worker returns to the pool: the other scratch
+// fields own their memory, but a retained view would keep a whole operand
+// matrix reachable across unrelated work.
+func (w *mmWorker) releaseViews() {
+	rows := w.aRowsV[:cap(w.aRowsV)]
+	for i := range rows {
+		rows[i] = nil
+	}
+	vals := w.aValsV[:cap(w.aValsV)]
+	for i := range vals {
+		vals[i] = nil
+	}
+}
+
 // runWorkers executes fn(worker, lo, hi) once per column range on its own
 // goroutine, handing each a pooled worker.
 func runWorkers(bounds []int32, fn func(w *mmWorker, lo, hi int32)) {
@@ -108,6 +126,7 @@ func runWorkers(bounds []int32, fn func(w *mmWorker, lo, hi int32)) {
 			defer wg.Done()
 			w := workerPool.Get().(*mmWorker)
 			fn(w, lo, hi)
+			w.releaseViews()
 			workerPool.Put(w)
 		}(lo, hi)
 	}

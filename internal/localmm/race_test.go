@@ -56,3 +56,53 @@ func TestParallelKernelsRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDCSCParallelKernelsRace is the doubly-compressed counterpart of
+// TestParallelKernelsRace: the generic two-phase kernels and merges at high
+// thread counts over hypersparse DCSC operands (shared read-only views,
+// pooled workers, exact-offset shared output arrays), plus concurrent
+// multiplies the way SUMMA ranks race. Run under `go test -race`.
+func TestDCSCParallelKernelsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workout skipped in -short mode")
+	}
+	sr := semiring.PlusTimes()
+	ac := hyperMat(t, 200, 4096, 3000, 61)
+	bc := hyperMat(t, 4096, 4096, 3000, 62)
+	a, b := ac.ToDCSC(), bc.ToDCSC()
+	want := Multiply(ac, bc, sr)
+
+	for _, k := range allKernels {
+		got := MulMat(k, a, b, sr, 8)
+		if !spmat.Equal(got.ToCSC(), want) {
+			t.Errorf("kernel %v: wrong DCSC parallel product", k)
+		}
+	}
+
+	b2 := hyperMat(t, 4096, 4096, 2500, 63).ToDCSC()
+	mats := []spmat.Matrix{
+		MulMat(KernelHashUnsorted, a, b, sr, 8),
+		MulMat(KernelHashUnsorted, a, b2, sr, 8),
+	}
+	for _, mg := range []Merger{MergerHash, MergerHeap} {
+		if got := MergeMat(mg, mats, sr, true, 8); got.NNZ() == 0 {
+			t.Errorf("merger %v: empty DCSC parallel merge", mg)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := MulMat(KernelHashUnsorted, a, b, sr, 4)
+			if !spmat.Equal(got.ToCSC(), want) {
+				t.Error("concurrent DCSC parallel multiply diverged")
+			}
+			if SymbolicMat(a, b, 4) != want.NNZ() {
+				t.Error("concurrent DCSC parallel symbolic diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package spmat
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // CSC is a sparse matrix in compressed sparse column format.
@@ -17,6 +18,17 @@ type CSC struct {
 	RowIdx     []int32
 	Val        []float64
 	SortedCols bool
+
+	// neCache memoizes NonEmptyCols as count+1 (0 = not yet computed). The
+	// batched schedule broadcasts the same blocks once per batch, and both
+	// the wire-encoding decision and the auto-format heuristic need the
+	// count — computing the O(cols) scan once per block instead of once per
+	// send is what keeps repeated broadcasts O(1) in the column dimension.
+	// Mutating methods that can empty a column (Filter) reset it. Accessed
+	// atomically: broadcast payloads are shared read-only across simulated
+	// ranks, so concurrent receivers may fill the cache simultaneously (the
+	// computation is idempotent; last write wins with the same value).
+	neCache int64
 }
 
 // New returns an empty rows×cols matrix with no nonzeros. The result has
@@ -33,6 +45,47 @@ func New(rows, cols int32) *CSC {
 		Val:        nil,
 		SortedCols: true,
 	}
+}
+
+// Dims returns the logical shape.
+func (m *CSC) Dims() (int32, int32) { return m.Rows, m.Cols }
+
+// Sorted reports whether every column stores its rows in ascending order.
+func (m *CSC) Sorted() bool { return m.SortedCols }
+
+// Format identifies the concrete representation.
+func (m *CSC) Format() Format { return FormatCSC }
+
+// ToCSC returns the matrix itself.
+func (m *CSC) ToCSC() *CSC { return m }
+
+// CloneMat returns a deep copy in CSC form.
+func (m *CSC) CloneMat() Matrix { return m.Clone() }
+
+// EnumCols calls fn for every non-empty column in ascending order.
+func (m *CSC) EnumCols(fn func(j int32, rows []int32, vals []float64)) {
+	for j := int32(0); j < m.Cols; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		if lo < hi {
+			fn(j, m.RowIdx[lo:hi], m.Val[lo:hi])
+		}
+	}
+}
+
+// NonEmptyCols returns the number of columns with at least one entry,
+// computed once per matrix and memoized (see neCache).
+func (m *CSC) NonEmptyCols() int64 {
+	if c := atomic.LoadInt64(&m.neCache); c > 0 {
+		return c - 1
+	}
+	var n int64
+	for j := int32(0); j < m.Cols; j++ {
+		if m.ColPtr[j+1] > m.ColPtr[j] {
+			n++
+		}
+	}
+	atomic.StoreInt64(&m.neCache, n+1)
+	return n
 }
 
 // NNZ returns the number of stored entries.
@@ -62,6 +115,7 @@ func (m *CSC) Clone() *CSC {
 		RowIdx:     append([]int32(nil), m.RowIdx...),
 		Val:        append([]float64(nil), m.Val...),
 		SortedCols: m.SortedCols,
+		neCache:    atomic.LoadInt64(&m.neCache),
 	}
 	return c
 }

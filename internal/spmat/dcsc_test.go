@@ -1,0 +1,219 @@
+package spmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomNNZCSC builds a random rows×cols matrix with about nnz entries.
+func randomNNZCSC(t testing.TB, rows, cols int32, nnz int, seed int64) *CSC {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]Triple, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		ts = append(ts, Triple{
+			Row: int32(rng.Intn(int(rows))),
+			Col: int32(rng.Intn(int(cols))),
+			Val: rng.Float64()*10 - 5,
+		})
+	}
+	m, err := FromTriples(rows, cols, ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDCSCRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		rows, cols int32
+		nnz        int
+	}{
+		{1, 1, 0},      // empty
+		{5, 7, 0},      // empty rectangular
+		{16, 16, 40},   // dense-ish
+		{8, 1024, 60},  // hypersparse
+		{64, 4096, 90}, // very hypersparse
+	} {
+		m := randomNNZCSC(t, tc.rows, tc.cols, tc.nnz, int64(tc.nnz)+3)
+		d := m.ToDCSC()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%dx%d: invalid DCSC: %v", tc.rows, tc.cols, err)
+		}
+		if d.NNZ() != m.NNZ() || d.NonEmptyCols() != m.NonEmptyCols() {
+			t.Fatalf("%dx%d: nnz/nzc mismatch after conversion", tc.rows, tc.cols)
+		}
+		back := d.ToCSC()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%dx%d: invalid CSC after round trip: %v", tc.rows, tc.cols, err)
+		}
+		if !Equal(m, back) {
+			t.Fatalf("%dx%d: round trip changed the matrix", tc.rows, tc.cols)
+		}
+		if back.NonEmptyCols() != m.NonEmptyCols() {
+			t.Fatalf("%dx%d: ToCSC mis-seeded the non-empty-column cache", tc.rows, tc.cols)
+		}
+	}
+}
+
+func TestDCSCColumnLookup(t *testing.T) {
+	m := randomNNZCSC(t, 32, 512, 80, 5)
+	d := m.ToDCSC()
+	for j := int32(0); j < m.Cols; j++ {
+		wr, wv := m.Column(j)
+		gr, gv := d.Column(j)
+		if len(wr) != len(gr) || d.ColNNZ(j) != m.ColNNZ(j) {
+			t.Fatalf("column %d: size mismatch", j)
+		}
+		for p := range wr {
+			if wr[p] != gr[p] || wv[p] != gv[p] {
+				t.Fatalf("column %d entry %d differs", j, p)
+			}
+		}
+	}
+}
+
+func TestEnumColsMatchesAcrossFormats(t *testing.T) {
+	m := randomNNZCSC(t, 16, 300, 50, 9)
+	d := m.ToDCSC()
+	type col struct {
+		j    int32
+		rows []int32
+	}
+	collect := func(x Matrix) []col {
+		var out []col
+		x.EnumCols(func(j int32, rows []int32, _ []float64) {
+			out = append(out, col{j, rows})
+		})
+		return out
+	}
+	cs, ds := collect(m), collect(d)
+	if len(cs) != len(ds) || int64(len(cs)) != m.NonEmptyCols() {
+		t.Fatalf("stored column counts differ: csc %d, dcsc %d, want %d", len(cs), len(ds), m.NonEmptyCols())
+	}
+	prev := int32(-1)
+	for i := range cs {
+		if cs[i].j != ds[i].j || len(cs[i].rows) != len(ds[i].rows) {
+			t.Fatalf("stored column %d differs between formats", i)
+		}
+		if cs[i].j <= prev {
+			t.Fatalf("EnumCols not ascending at %d", cs[i].j)
+		}
+		prev = cs[i].j
+	}
+}
+
+func TestAutoFormatThreshold(t *testing.T) {
+	// Exactly half the columns occupied: 2·ne == cols is NOT hypersparse
+	// (strict inequality), one fewer occupied column is.
+	build := func(cols, occupied int32) *CSC {
+		ts := make([]Triple, 0, occupied)
+		for j := int32(0); j < occupied; j++ {
+			ts = append(ts, Triple{Row: 0, Col: j * 2, Val: 1})
+		}
+		m, err := FromTriples(4, cols, ts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	half := build(64, 32)
+	if got := AutoFormat(half); got.Format() != FormatCSC {
+		t.Errorf("half occupancy: auto picked %v, want csc", got.Format())
+	}
+	under := build(64, 31)
+	if got := AutoFormat(under); got.Format() != FormatDCSC {
+		t.Errorf("under-half occupancy: auto picked %v, want dcsc", got.Format())
+	}
+	// WithFormat forces either way and auto matches AutoFormat.
+	if WithFormat(half, FormatDCSC).Format() != FormatDCSC {
+		t.Error("WithFormat(dcsc) did not compress")
+	}
+	if WithFormat(under, FormatCSC).Format() != FormatCSC {
+		t.Error("WithFormat(csc) did not inflate")
+	}
+}
+
+func TestMatColSelectMatchesColSelect(t *testing.T) {
+	m := randomNNZCSC(t, 24, 400, 70, 13)
+	d := m.ToDCSC()
+	cols := []int32{3, 17, 40, 41, 42, 100, 399}
+	want := ColSelect(m, cols)
+	got := MatColSelect(d, cols)
+	if got.Format() != FormatDCSC {
+		t.Fatalf("MatColSelect changed format: %v", got.Format())
+	}
+	if !Equal(want, got.ToCSC()) {
+		t.Fatal("MatColSelect(dcsc) differs from ColSelect(csc)")
+	}
+	if gotCSC := MatColSelect(m, cols); !Equal(want, gotCSC.ToCSC()) {
+		t.Fatal("MatColSelect(csc) differs from ColSelect")
+	}
+	// Unordered selections fall back to per-column lookups.
+	shuffled := []int32{42, 3, 399, 17}
+	if !Equal(ColSelect(m, shuffled), MatColSelect(d, shuffled).ToCSC()) {
+		t.Fatal("unordered MatColSelect differs from ColSelect")
+	}
+}
+
+func TestNonEmptyColsCache(t *testing.T) {
+	m := randomNNZCSC(t, 10, 100, 40, 21)
+	want := m.NonEmptyCols()
+	var slow int64
+	for j := int32(0); j < m.Cols; j++ {
+		if m.ColNNZ(j) > 0 {
+			slow++
+		}
+	}
+	if want != slow {
+		t.Fatalf("NonEmptyCols = %d, scan says %d", want, slow)
+	}
+	if again := m.NonEmptyCols(); again != want {
+		t.Fatalf("cached NonEmptyCols = %d, want %d", again, want)
+	}
+	// Filtering can empty columns and must invalidate the cache.
+	m.Filter(func(_, col int32, _ float64) bool { return col%2 == 0 })
+	var after int64
+	for j := int32(0); j < m.Cols; j++ {
+		if m.ColNNZ(j) > 0 {
+			after++
+		}
+	}
+	if got := m.NonEmptyCols(); got != after {
+		t.Fatalf("after Filter: NonEmptyCols = %d, scan says %d (stale cache?)", got, after)
+	}
+}
+
+func TestDCSCSortColumns(t *testing.T) {
+	// Build an unsorted CSC, compress, sort in DCSC form.
+	m := &CSC{
+		Rows: 8, Cols: 16,
+		ColPtr:     []int64{0, 0, 3, 3, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+		RowIdx:     []int32{5, 1, 3, 7, 2},
+		Val:        []float64{1, 2, 3, 4, 5},
+		SortedCols: false,
+	}
+	d := m.ToDCSC()
+	if d.Sorted() {
+		t.Fatal("conversion invented sortedness")
+	}
+	d.SortColumns()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sorted := m.Clone()
+	sorted.SortColumns()
+	if !Equal(sorted, d.ToCSC()) {
+		t.Fatal("DCSC SortColumns differs from CSC SortColumns")
+	}
+}
+
+func TestDCSCMemBytesSmallerWhenHypersparse(t *testing.T) {
+	// ~2 nnz per occupied column, most columns empty: the explicit DCSC
+	// accounting must beat the flat r·nnz model.
+	m := randomNNZCSC(t, 64, 4096, 600, 31)
+	c, d := m.MemBytes(), m.ToDCSC().MemBytes()
+	if d >= c {
+		t.Fatalf("hypersparse DCSC footprint %d not below CSC %d", d, c)
+	}
+}

@@ -1,13 +1,32 @@
 // Package spmat provides the sparse matrix representations and operations
-// used by every layer of the batched SUMMA3D stack: compressed sparse column
-// (CSC) storage with an explicit sorted/unsorted flag, coordinate triples,
-// splitting and concatenation primitives that implement the paper's layer and
-// batch decompositions (Fig 1), and Matrix Market I/O.
+// used by every layer of the batched SUMMA3D stack: pluggable column-major
+// storage (the Matrix interface) with two implementations — CSC and the
+// doubly-compressed DCSC — an explicit sorted/unsorted flag, coordinate
+// triples, splitting and concatenation primitives that implement the paper's
+// layer and batch decompositions (Fig 1), and Matrix Market I/O.
 //
 // The column orientation mirrors the paper: local multiplies, merges, and
 // batching all operate column-by-column, and the "sort-free" optimization of
-// Sec. IV-D is expressed here as CSC matrices whose columns are allowed to
+// Sec. IV-D is expressed here as matrices whose columns are allowed to
 // hold row indices in arbitrary order (SortedCols == false).
+//
+// # Storage formats
+//
+// CSC keeps a dense (cols+1)-entry column-pointer array — O(1) column
+// lookup, O(cols) metadata. DCSC (Buluç & Gilbert) keeps metadata only for
+// the non-empty columns (JC/CP index arrays over shared IR/Num entry
+// arrays) — O(log nzc) lookup, O(nzc) metadata — which is what hypersparse
+// blocks need: a 3D grid's q·l-way column split leaves far more columns
+// than nonzeros per block at scale (the paper's Rice-kmers regime, ~2 nnz
+// per column). The Matrix interface (EnumCols, Column, MemBytes, the wire
+// methods) lets kernels and the distributed core treat both uniformly;
+// Format/WithFormat/AutoFormat select per block, compressing exactly when
+// fewer than half the columns are occupied — the same threshold the wire
+// encoding uses, so in-memory and on-wire compression agree. The wire
+// format itself is chosen by occupancy alone: both in-memory formats of a
+// logical matrix serialize to identical bytes, and DeserializeMatrix
+// decodes a hypersparse buffer straight into DCSC without materializing
+// dense column pointers.
 //
 // # Construction and comparison
 //
@@ -21,10 +40,11 @@
 //
 // # Distribution primitives
 //
-// PartBounds, ColRange/RowRange, ColSelect, HCat/VCat, and the cyclic
-// split helpers carve matrices into the block rows, block columns, layer
-// slices, and block-cyclic batches of Fig 1, and reassemble piece outputs;
-// CommBytes
-// makes *CSC an mpi.Payload so pieces can ride the simulated collectives
-// with exact wire-size accounting.
+// PartBounds, ColRange/RowRange, ColSelect (and its format-preserving
+// MatColSelect), HCat/VCat, and the cyclic split helpers carve matrices into
+// the block rows, block columns, layer slices, and block-cyclic batches of
+// Fig 1, and reassemble piece outputs; CommBytes makes both formats
+// mpi.Payloads so pieces can ride the simulated collectives with exact
+// wire-size accounting (memoized per block, so the batched schedule's
+// repeated broadcasts never rescan columns).
 package spmat

@@ -1,6 +1,9 @@
 package spmat
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Transpose returns the transpose of m using a counting sort over rows. The
 // result always has sorted columns, regardless of the input ordering, which
@@ -285,6 +288,7 @@ func (m *CSC) Filter(keep func(row, col int32, v float64) bool) {
 	m.ColPtr = newPtr
 	m.RowIdx = m.RowIdx[:w]
 	m.Val = m.Val[:w]
+	atomic.StoreInt64(&m.neCache, 0) // filtering can empty columns
 }
 
 // DropZeros removes entries whose stored value is exactly zero.

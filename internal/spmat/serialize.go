@@ -6,7 +6,7 @@ import (
 	"math"
 )
 
-// The binary wire format used when a CSC crosses the simulated network:
+// The binary wire format used when a matrix crosses the simulated network:
 //
 //	[0:4)   rows   (int32 LE)
 //	[4:8)   cols   (int32 LE)
@@ -23,55 +23,80 @@ import (
 // nonzeros, and shipping a full column-pointer array would multiply the wire
 // volume several-fold (the paper's Rice-kmers matrix has ~2 nonzeros per
 // column precisely in this regime).
+//
+// The wire encoding is chosen by the Hypersparse threshold alone — never by
+// the in-memory format — so both representations of the same logical matrix
+// serialize to identical bytes and communication metering is independent of
+// the format knob. DeserializeMatrix is the other half of that symmetry: a
+// hypersparse-encoded buffer decodes straight into DCSC without ever
+// materializing O(cols) column pointers.
 const serialHeader = 17
-
-// nonEmptyCols counts columns with at least one entry.
-func (m *CSC) nonEmptyCols() int64 {
-	var n int64
-	for j := int32(0); j < m.Cols; j++ {
-		if m.ColPtr[j+1] > m.ColPtr[j] {
-			n++
-		}
-	}
-	return n
-}
 
 // hypersparseWire reports whether the hypersparse encoding is used: fewer
 // than half the columns occupied. (At full occupancy the two encodings are
 // within a few bytes of each other; the 2x threshold keeps the common dense
-// case on the simple path.)
+// case on the simple path.) The non-empty count is memoized per block, so
+// the batched schedule's repeated broadcasts of one block don't rescan its
+// columns on every send.
 func (m *CSC) hypersparseWire() (bool, int64) {
-	ne := m.nonEmptyCols()
-	if 2*ne < int64(m.Cols) {
-		return true, ne
+	ne := m.NonEmptyCols()
+	return Hypersparse(ne, m.Cols), ne
+}
+
+// wireBytes is the shared size formula for both encodings.
+func wireBytes(hyper bool, cols int32, ne, nnz int64) int64 {
+	if hyper {
+		return serialHeader + 4 + 8*ne + 12*nnz
 	}
-	return false, ne
+	return serialHeader + 8*int64(cols+1) + 12*nnz
 }
 
 // CommBytes returns the number of bytes the matrix occupies on the wire. The
 // simulated MPI layer uses it to meter communication volume; it equals
 // len(Serialize(m)) without allocating.
 func (m *CSC) CommBytes() int64 {
-	if hyper, ne := m.hypersparseWire(); hyper {
-		return serialHeader + 4 + 8*ne + 12*m.NNZ()
-	}
-	return serialHeader + 8*int64(m.Cols+1) + 12*m.NNZ()
+	hyper, ne := m.hypersparseWire()
+	return wireBytes(hyper, m.Cols, ne, m.NNZ())
 }
 
-// Serialize encodes the matrix into the wire format above.
-func (m *CSC) Serialize() []byte {
-	nnz := m.NNZ()
-	buf := make([]byte, m.CommBytes())
-	binary.LittleEndian.PutUint32(buf[0:], uint32(m.Rows))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Cols))
+// CommBytes returns the wire size; identical to the CSC form of the same
+// logical matrix.
+func (d *DCSC) CommBytes() int64 {
+	ne := d.NonEmptyCols()
+	return wireBytes(Hypersparse(ne, d.Cols), d.Cols, ne, d.NNZ())
+}
+
+// putHeader writes the 17-byte header shared by both encodings.
+func putHeader(buf []byte, rows, cols int32, nnz int64, sorted, hyper bool) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(rows))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(cols))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(nnz))
-	hyper, ne := m.hypersparseWire()
-	if m.SortedCols {
+	if sorted {
 		buf[16] |= 1
 	}
 	if hyper {
 		buf[16] |= 2
 	}
+}
+
+// putEntries appends the row indices and values shared by both encodings.
+func putEntries(buf []byte, off int, rowIdx []int32, vals []float64) {
+	for _, r := range rowIdx {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(r))
+		off += 4
+	}
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+}
+
+// Serialize encodes the matrix into the wire format above.
+func (m *CSC) Serialize() []byte {
+	nnz := m.NNZ()
+	hyper, ne := m.hypersparseWire()
+	buf := make([]byte, wireBytes(hyper, m.Cols, ne, nnz))
+	putHeader(buf, m.Rows, m.Cols, nnz, m.SortedCols, hyper)
 	off := serialHeader
 	if hyper {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(ne))
@@ -91,36 +116,84 @@ func (m *CSC) Serialize() []byte {
 			off += 8
 		}
 	}
-	for _, r := range m.RowIdx {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(r))
-		off += 4
-	}
-	for _, v := range m.Val {
-		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-		off += 8
-	}
+	putEntries(buf, off, m.RowIdx, m.Val)
 	return buf
 }
 
-// Deserialize decodes a matrix from the wire format produced by Serialize.
+// Serialize encodes the matrix into the shared wire format, byte-identical
+// to serializing its CSC form. The hypersparse encoding is a direct dump of
+// the doubly-compressed arrays; the dense encoding (a non-hypersparse block
+// held in DCSC, rare) inflates the column pointers on the way out.
+func (d *DCSC) Serialize() []byte {
+	nnz := d.NNZ()
+	ne := d.NonEmptyCols()
+	hyper := Hypersparse(ne, d.Cols)
+	buf := make([]byte, wireBytes(hyper, d.Cols, ne, nnz))
+	putHeader(buf, d.Rows, d.Cols, nnz, d.SortedCols, hyper)
+	off := serialHeader
+	if hyper {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(ne))
+		off += 4
+		for p := range d.JC {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(d.JC[p]))
+			binary.LittleEndian.PutUint32(buf[off+4:], uint32(d.CP[p+1]-d.CP[p]))
+			off += 8
+		}
+	} else {
+		p := 0
+		var acc int64
+		for j := int32(0); j <= d.Cols; j++ {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(acc))
+			off += 8
+			if p < len(d.JC) && d.JC[p] == j {
+				acc = d.CP[p+1]
+				p++
+			}
+		}
+	}
+	putEntries(buf, off, d.IR, d.Num)
+	return buf
+}
+
+// Deserialize decodes a matrix from the wire format into CSC, whatever the
+// wire encoding (the historical entry point; DeserializeMatrix avoids the
+// O(cols) inflation for hypersparse buffers).
 func Deserialize(buf []byte) (*CSC, error) {
+	m, err := DeserializeFormat(buf, FormatCSC)
+	if err != nil {
+		return nil, err
+	}
+	return m.(*CSC), nil
+}
+
+// DeserializeMatrix decodes a matrix from the wire format, following the
+// wire's own encoding flag: a hypersparse-encoded buffer becomes a DCSC —
+// its column list and counts map one-to-one onto JC/CP, so the decode is
+// O(nnz) with no dense column-pointer array ever allocated — and a
+// dense-encoded buffer becomes a CSC.
+func DeserializeMatrix(buf []byte) (Matrix, error) {
+	return DeserializeFormat(buf, FormatAuto)
+}
+
+// DeserializeFormat decodes a matrix from the wire format into the requested
+// in-memory format. FormatAuto follows the wire's encoding flag (the
+// zero-conversion path); forcing a format converts after decoding when the
+// wire encoding disagrees.
+func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
 	if len(buf) < serialHeader {
 		return nil, fmt.Errorf("spmat: serialized matrix truncated (%d bytes)", len(buf))
 	}
 	rows := int32(binary.LittleEndian.Uint32(buf[0:]))
 	cols := int32(binary.LittleEndian.Uint32(buf[4:]))
 	nnz := int64(binary.LittleEndian.Uint64(buf[8:]))
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("spmat: serialized matrix has negative shape %dx%d nnz=%d", rows, cols, nnz)
+	}
 	sorted := buf[16]&1 != 0
 	hyper := buf[16]&2 != 0
-	m := &CSC{
-		Rows:       rows,
-		Cols:       cols,
-		ColPtr:     make([]int64, cols+1),
-		RowIdx:     make([]int32, nnz),
-		Val:        make([]float64, nnz),
-		SortedCols: sorted,
-	}
 	off := int64(serialHeader)
+
+	var out Matrix
 	if hyper {
 		if int64(len(buf)) < off+4 {
 			return nil, fmt.Errorf("spmat: hypersparse header truncated")
@@ -131,39 +204,81 @@ func Deserialize(buf []byte) (*CSC, error) {
 		if int64(len(buf)) != want {
 			return nil, fmt.Errorf("spmat: serialized matrix has %d bytes, want %d", len(buf), want)
 		}
-		counts := make([]int64, cols)
+		d := &DCSC{
+			Rows: rows, Cols: cols,
+			JC:         make([]int32, ne),
+			CP:         make([]int64, ne+1),
+			IR:         make([]int32, nnz),
+			Num:        make([]float64, nnz),
+			SortedCols: sorted,
+		}
+		prev := int32(-1)
 		for i := int64(0); i < ne; i++ {
 			j := int32(binary.LittleEndian.Uint32(buf[off:]))
 			cnt := int64(binary.LittleEndian.Uint32(buf[off+4:]))
 			if j < 0 || j >= cols {
 				return nil, fmt.Errorf("spmat: hypersparse column %d out of range", j)
 			}
-			counts[j] = cnt
+			if j <= prev {
+				return nil, fmt.Errorf("spmat: hypersparse columns not ascending at %d", j)
+			}
+			if cnt <= 0 {
+				return nil, fmt.Errorf("spmat: hypersparse column %d has count %d", j, cnt)
+			}
+			prev = j
+			d.JC[i] = j
+			d.CP[i+1] = d.CP[i] + cnt
 			off += 8
 		}
-		for j := int32(0); j < cols; j++ {
-			m.ColPtr[j+1] = m.ColPtr[j] + counts[j]
+		if d.CP[ne] != nnz {
+			return nil, fmt.Errorf("spmat: hypersparse counts sum to %d, want %d", d.CP[ne], nnz)
 		}
-		if m.ColPtr[cols] != nnz {
-			return nil, fmt.Errorf("spmat: hypersparse counts sum to %d, want %d", m.ColPtr[cols], nnz)
-		}
+		readEntries(buf, off, d.IR, d.Num)
+		out = d
 	} else {
 		want := off + 8*int64(cols+1) + 12*nnz
 		if int64(len(buf)) != want {
 			return nil, fmt.Errorf("spmat: serialized matrix has %d bytes, want %d", len(buf), want)
 		}
+		m := &CSC{
+			Rows: rows, Cols: cols,
+			ColPtr:     make([]int64, cols+1),
+			RowIdx:     make([]int32, nnz),
+			Val:        make([]float64, nnz),
+			SortedCols: sorted,
+		}
 		for i := range m.ColPtr {
 			m.ColPtr[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 		}
+		if m.ColPtr[0] != 0 {
+			return nil, fmt.Errorf("spmat: serialized column pointers start at %d, want 0", m.ColPtr[0])
+		}
+		for j := int32(0); j < cols; j++ {
+			if m.ColPtr[j] > m.ColPtr[j+1] {
+				return nil, fmt.Errorf("spmat: serialized column pointers not monotone at column %d", j)
+			}
+		}
+		if m.ColPtr[cols] != nnz {
+			return nil, fmt.Errorf("spmat: serialized column pointers sum to %d, want %d", m.ColPtr[cols], nnz)
+		}
+		readEntries(buf, off, m.RowIdx, m.Val)
+		out = m
 	}
-	for i := range m.RowIdx {
-		m.RowIdx[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+	if f == FormatAuto {
+		return out, nil
+	}
+	return WithFormat(out, f), nil
+}
+
+// readEntries decodes the row indices and values shared by both encodings.
+func readEntries(buf []byte, off int64, rowIdx []int32, vals []float64) {
+	for i := range rowIdx {
+		rowIdx[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 	}
-	for i := range m.Val {
-		m.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 		off += 8
 	}
-	return m, nil
 }

@@ -1,0 +1,142 @@
+package spmat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSerializeFormatIndependent: both in-memory formats of the same logical
+// matrix must produce byte-identical wire encodings (and CommBytes must
+// equal the encoded length) across shapes spanning the 2× hypersparse
+// threshold — the property that makes communication metering independent of
+// the format knob.
+func TestSerializeFormatIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for it := 0; it < 60; it++ {
+		rows := int32(1 + rng.Intn(64))
+		cols := int32(1 + rng.Intn(512))
+		nnz := rng.Intn(3 * int(cols) / 2)
+		m := randomNNZCSC(t, rows, cols, nnz, int64(it))
+		if rng.Intn(2) == 0 {
+			m.SortedCols = false // exercise the flag bit
+		}
+		d := m.ToDCSC()
+
+		cb := m.Serialize()
+		db := d.Serialize()
+		if !bytes.Equal(cb, db) {
+			t.Fatalf("it %d (%v): CSC and DCSC wire bytes differ", it, m)
+		}
+		if int64(len(cb)) != m.CommBytes() || m.CommBytes() != d.CommBytes() {
+			t.Fatalf("it %d (%v): CommBytes %d/%d vs encoded %d", it, m, m.CommBytes(), d.CommBytes(), len(cb))
+		}
+	}
+}
+
+// TestDeserializeRoundTripAllFormats: wire encodings × in-memory formats.
+// Every decode target must reproduce the logical matrix; DeserializeMatrix
+// must follow the wire flag (hypersparse buffers decode straight into DCSC,
+// dense ones into CSC).
+func TestDeserializeRoundTripAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 60; it++ {
+		rows := int32(1 + rng.Intn(48))
+		cols := int32(1 + rng.Intn(400))
+		nnz := rng.Intn(2 * int(cols))
+		m := randomNNZCSC(t, rows, cols, nnz, int64(1000+it))
+		hyper := Hypersparse(m.NonEmptyCols(), m.Cols)
+
+		for _, src := range []Matrix{m, m.ToDCSC()} {
+			buf := src.Serialize()
+
+			// Historical CSC decode.
+			c, err := Deserialize(buf)
+			if err != nil {
+				t.Fatalf("it %d: Deserialize: %v", it, err)
+			}
+			if !Equal(m, c) {
+				t.Fatalf("it %d: CSC decode differs", it)
+			}
+
+			// Wire-following decode: format matches the encoding flag.
+			got, err := DeserializeMatrix(buf)
+			if err != nil {
+				t.Fatalf("it %d: DeserializeMatrix: %v", it, err)
+			}
+			wantFmt := FormatCSC
+			if hyper {
+				wantFmt = FormatDCSC
+			}
+			if got.Format() != wantFmt {
+				t.Fatalf("it %d: DeserializeMatrix produced %v for hyper=%v wire", it, got.Format(), hyper)
+			}
+			if !Equal(m, got.ToCSC()) {
+				t.Fatalf("it %d: DeserializeMatrix decode differs", it)
+			}
+			if d, ok := got.(*DCSC); ok {
+				if err := d.Validate(); err != nil {
+					t.Fatalf("it %d: decoded DCSC invalid: %v", it, err)
+				}
+			}
+
+			// Forced decodes.
+			for _, f := range []Format{FormatCSC, FormatDCSC} {
+				forced, err := DeserializeFormat(buf, f)
+				if err != nil {
+					t.Fatalf("it %d: DeserializeFormat(%v): %v", it, f, err)
+				}
+				if forced.Format() != f {
+					t.Fatalf("it %d: DeserializeFormat(%v) produced %v", it, f, forced.Format())
+				}
+				if !Equal(m, forced.ToCSC()) {
+					t.Fatalf("it %d: DeserializeFormat(%v) decode differs", it, f)
+				}
+			}
+		}
+	}
+}
+
+// TestDeserializeMatrixRejectsHostile mirrors the CSC decoder's hardening on
+// the hypersparse path: truncation, unordered or out-of-range column lists,
+// and count sums that disagree with the header must all error.
+func TestDeserializeMatrixRejectsHostile(t *testing.T) {
+	m := randomNNZCSC(t, 8, 200, 30, 5) // hypersparse → hyper wire encoding
+	buf := m.Serialize()
+	if buf[16]&2 == 0 {
+		t.Fatal("test matrix unexpectedly dense on the wire")
+	}
+	if _, err := DeserializeMatrix(buf[:len(buf)-2]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+	// Swap the first two column entries: columns out of order.
+	bad := append([]byte(nil), buf...)
+	copy(bad[serialHeader+4:], buf[serialHeader+12:serialHeader+20])
+	copy(bad[serialHeader+12:], buf[serialHeader+4:serialHeader+12])
+	if _, err := DeserializeMatrix(bad); err == nil {
+		t.Error("unordered hypersparse columns accepted")
+	}
+	// Inflate one count: sum disagrees with nnz.
+	bad2 := append([]byte(nil), buf...)
+	bad2[serialHeader+8] ^= 0x01
+	if _, err := DeserializeMatrix(bad2); err == nil {
+		t.Error("count/nnz disagreement accepted")
+	}
+
+	// Dense encoding with a negative leading column pointer (would index
+	// out of bounds on the first column access if accepted).
+	dense := New(4, 4)
+	dense.RowIdx = []int32{1, 2}
+	dense.Val = []float64{2, 3}
+	dense.ColPtr = []int64{0, 1, 2, 2, 2} // 2 of 4 columns occupied → dense wire
+	db := dense.Serialize()
+	if db[16]&2 != 0 {
+		t.Fatal("dense test matrix unexpectedly hypersparse on the wire")
+	}
+	for i, v := range []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff} { // ColPtr[0] = -1
+		db[serialHeader+i] = v
+	}
+	if _, err := DeserializeMatrix(db); err == nil {
+		t.Error("negative leading column pointer accepted")
+	}
+}

@@ -73,6 +73,26 @@ var (
 	PlusPairs = semiring.PlusPairs
 )
 
+// Format selects the in-memory storage of the local blocks a distributed
+// multiplication works on: CSC (dense column pointers), DCSC (doubly
+// compressed — metadata only for non-empty columns, the hypersparse format
+// of CombBLAS), or the per-block auto heuristic. See Options.Format.
+type Format = spmat.Format
+
+// Storage formats for Options.Format.
+const (
+	// FormatAuto compresses a block exactly when fewer than half its
+	// columns are occupied (the default).
+	FormatAuto = spmat.FormatAuto
+	// FormatCSC forces dense column pointers everywhere.
+	FormatCSC = spmat.FormatCSC
+	// FormatDCSC forces doubly-compressed storage everywhere.
+	FormatDCSC = spmat.FormatDCSC
+)
+
+// ParseFormat maps a CLI string (csc|dcsc|auto) to a Format.
+func ParseFormat(s string) (Format, error) { return spmat.ParseFormat(s) }
+
 // Kernel selects the local multiply implementation.
 type Kernel = localmm.Kernel
 
@@ -210,6 +230,16 @@ type Options struct {
 	// releases (packing before the fiber exchange is now counted as
 	// Merge-Layer compute).
 	Pipeline bool
+	// Format selects the in-memory block storage: FormatAuto (default)
+	// compresses each local block to DCSC exactly when fewer than half its
+	// columns are occupied — the hypersparse regime the paper's Rice-kmers
+	// AAᵀ lives in at high layer counts — FormatCSC forces dense column
+	// pointers everywhere (the pre-knob behavior), and FormatDCSC forces
+	// compression. The knob never changes output values or communication
+	// volume; it removes the O(cols)-per-block metadata from kernels and
+	// footprints, so the symbolic step can choose fewer batches for
+	// hypersparse inputs under the same MemBytes.
+	Format Format
 }
 
 func (o Options) toCore() core.Options {
@@ -222,6 +252,7 @@ func (o Options) toCore() core.Options {
 		RunSymbolic:  o.MeasureSymbolic,
 		Threads:      o.Threads,
 		Pipeline:     o.Pipeline,
+		Format:       o.Format,
 	}
 }
 
