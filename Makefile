@@ -9,7 +9,7 @@ GO ?= go
 FUZZTIME ?= 30s
 GATE_TOL ?= 0.05
 
-.PHONY: all build test race vet doc bench cover fuzz perfgate baseline ci
+.PHONY: all build test race vet doc bench cover fuzz perfgate baseline plan ci
 
 # all: the tier-1 gate (build + test), the default target.
 all: build test
@@ -76,6 +76,14 @@ perfgate:
 # performance change. Review the diff before committing it.
 baseline:
 	$(GO) run ./cmd/spgemm-bench -gate -json BENCH_baseline.json
+
+# plan: the planner-vs-oracle gate the nightly workflow enforces. The
+# analytical autotuner plans each gate workload, an exhaustive
+# l × b × format × pipeline sweep establishes the true optimum under the
+# same deterministic modeled objective, and the target fails when any pick
+# lands more than 10% above it.
+plan:
+	$(GO) run ./cmd/spgemm-bench -plangate -scale tiny
 
 # ci: what the GitHub Actions workflow runs on every push and pull request —
 # build, static analysis, gofmt hygiene (doc), the full test suite, the race

@@ -61,6 +61,7 @@ func BenchmarkFig12HyperThreading(b *testing.B)      { benchExperiment(b, "fig12
 func BenchmarkFig13KNLvsHaswell(b *testing.B)        { benchExperiment(b, "fig13") }
 func BenchmarkFig14SmallMatrixLowProc(b *testing.B)  { benchExperiment(b, "fig14") }
 func BenchmarkFig15KernelAblation(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkPlannerVsOracle(b *testing.B)          { benchExperiment(b, "planner") }
 
 // --- Ablation 1: local SpGEMM kernel generations (Fig 15 / Table VII). ---
 

@@ -8,36 +8,53 @@
 // nnz/column of the local blocks, their CSC vs DCSC footprints, and which
 // storage format the auto heuristic would pick per block.
 //
+// With -plan it runs the analytical autotuner for the self-product: the
+// ranked configurations (layers × batches × format × pipeline) with their
+// predicted per-step costs on the chosen machine model, under the -mem
+// budget.
+//
 // Usage:
 //
 //	mtxinfo graph.mtx
 //	mtxinfo -mem 1e9 -procs 64 -layers 4 graph.mtx
 //	mtxinfo -grid 2x2x16 reads.mtx
+//	mtxinfo -plan -machine knl -p 1024 -mem 4GB graph.mtx
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/distmat"
 	"repro/internal/genmat"
 	"repro/internal/localmm"
+	"repro/internal/planner"
 	"repro/internal/spmat"
 )
 
 func main() {
 	var (
-		mem    = flag.Float64("mem", 0, "aggregate memory budget in bytes (0 = skip batch estimate)")
-		procs  = flag.Int("procs", 64, "process count for the batch estimate")
-		layers = flag.Int("layers", 4, "layer count for the batch estimate")
-		gridSh = flag.String("grid", "", "per-block hypersparsity report for a RxCxL process grid, e.g. 2x2x16 (R must equal C)")
+		memStr  = flag.String("mem", "", "aggregate memory budget in bytes, with optional suffix: 4GB, 512MB, 1e9 (empty = unconstrained)")
+		procs   = flag.Int("procs", 64, "process count for the batch estimate")
+		pFlag   = flag.Int("p", 0, "process count for -plan (0 = use -procs)")
+		layers  = flag.Int("layers", 4, "layer count for the batch estimate")
+		gridSh  = flag.String("grid", "", "per-block hypersparsity report for a RxCxL process grid, e.g. 2x2x16 (R must equal C)")
+		plan    = flag.Bool("plan", false, "run the analytical autotuner for the self-product and print the ranked configurations with per-step predicted costs")
+		machine = flag.String("machine", "knl", "with -plan: machine model (knl | haswell | knl-ht | local)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-mem B -procs P -layers L] file.mtx")
+		fmt.Fprintln(os.Stderr, "usage: mtxinfo [-mem B -procs P -layers L] [-plan -machine M -p P] file.mtx")
 		os.Exit(2)
+	}
+	mem, err := parseBytes(*memStr)
+	if err != nil {
+		fatal(err)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -57,28 +74,47 @@ func main() {
 	fmt.Printf("output memory:               %.1f MB\n", float64(st.NnzC*24)/1e6)
 	fmt.Printf("worst-case intermediates:    %.1f MB (flops bound, Eq 1)\n", float64(st.Flops*24)/1e6)
 
-	if *mem > 0 {
-		b := a
-		if a.Rows != a.Cols {
-			b = spmat.Transpose(a)
-		}
+	// The pair operand of the studied self-product: A for square inputs,
+	// Aᵀ for rectangular ones (Table V's convention), shared by every
+	// report below.
+	b := a
+	if a.Rows != a.Cols {
+		b = spmat.Transpose(a)
+	}
+
+	if mem > 0 {
 		memC := 24 * localmm.Flops(a, b)
-		lower := core.BatchLowerBound(memC, a.NNZ(), b.NNZ(), int64(*mem), 24)
-		fmt.Printf("\nwith M = %.2e bytes on a %d-process, %d-layer grid:\n", *mem, *procs, *layers)
+		lower := core.BatchLowerBound(memC, a.NNZ(), b.NNZ(), mem, 24)
+		fmt.Printf("\nwith M = %.2e bytes on a %d-process, %d-layer grid:\n", float64(mem), *procs, *layers)
 		fmt.Printf("  batch lower bound (Eq 2, perfectly balanced): %d\n", lower)
 		if lower > 1<<20 {
 			fmt.Println("  (inputs alone exceed the budget)")
 		}
 	}
 
+	if *plan {
+		m, err := costmodel.ByName(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		p := *pFlag
+		if p <= 0 {
+			p = *procs
+		}
+		pl, err := planner.New(a, b, planner.Input{
+			P: p, MemBytes: mem, Machine: m, Symbolic: mem > 0,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(pl.Report())
+	}
+
 	if *gridSh != "" {
 		q, l, err := parseGrid(*gridSh)
 		if err != nil {
 			fatal(err)
-		}
-		b := a
-		if a.Rows != a.Cols {
-			b = spmat.Transpose(a)
 		}
 		fmt.Printf("\nper-block hypersparsity on the %dx%dx%d grid (p = %d):\n", q, q, l, q*q*l)
 		reportBlocks("A-style blocks (Ã of A)", aBlocks(a, q, l))
@@ -173,6 +209,39 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// parseBytes parses a byte count with an optional decimal suffix (KB, MB,
+// GB, TB, or their KiB/MiB/… binary forms, case-insensitive); a bare number
+// may use any float syntax ("1e9"). Empty means zero.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := 1.0
+	for _, suf := range []struct {
+		tag string
+		f   float64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12}, {"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.tag) {
+			mult = suf.f
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.tag))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -mem %q (want e.g. 4GB, 512MB, 1e9)", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("bad -mem %q: negative", s)
+	}
+	return int64(v * mult), nil
 }
 
 func fatal(err error) {

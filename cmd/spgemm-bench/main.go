@@ -19,6 +19,11 @@
 //	    # additionally compare: exit 1 if modeled critical-path seconds
 //	    # regress more than -tol (default 5%) vs the checked-in baseline
 //
+//	spgemm-bench -autotune                 # plan each gate shape, print the
+//	    # ranked configurations + why, run the pick, show predicted-vs-measured
+//	spgemm-bench -plangate                 # planner-vs-oracle CI gate: exit 1
+//	    # when any pick is >10% (-tol) above the exhaustive sweep's best
+//
 // Scales: tiny (seconds), small (default), large (minutes).
 package main
 
@@ -43,15 +48,49 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "fully-overlapped schedule: prefetch stage broadcasts within and across batches and hide the fiber AllToAll behind Merge-Layer (off = the paper's staged schedule)")
 		format   = flag.String("format", "auto", "in-memory block storage: csc | dcsc | auto (auto compresses a block to DCSC when fewer than half its columns are occupied)")
 		gate     = flag.Bool("gate", false, "run the deterministic perf-regression gate on pinned fig-6/8 shapes instead of an experiment")
+		autotune = flag.Bool("autotune", false, "plan the gate shapes with the analytical autotuner, print each ranked plan, run the chosen configuration, and show the predicted-vs-measured per-step breakdown")
+		plangate = flag.Bool("plangate", false, "planner-vs-oracle gate: exit 1 when the planner's pick is more than -tol above the exhaustive sweep's best modeled critical path")
 		jsonPath = flag.String("json", "", "with -gate: write the stats dump (BENCH_pr3.json) to this path")
 		baseline = flag.String("baseline", "", "with -gate: compare against this checked-in baseline and exit nonzero on regression")
-		tol      = flag.Float64("tol", experiments.GateTolerance, "with -gate -baseline: relative regression tolerance on modeled critical-path seconds")
+		tol      = flag.Float64("tol", 0, "relative tolerance: modeled critical-path regression for -gate -baseline (default 5%), planner-vs-oracle gap for -plangate (default 10%); an explicit 0 means strict")
 		verbose  = flag.Bool("v", false, "verbose output")
 	)
 	flag.Parse()
+	// Distinguish an explicit `-tol 0` (strict) from the flag being absent
+	// (per-gate default); the two gates default differently.
+	tolSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tol" {
+			tolSet = true
+		}
+	})
 
 	if *gate {
-		runGate(*jsonPath, *baseline, *tol)
+		gateTol := *tol
+		if !tolSet {
+			gateTol = experiments.GateTolerance
+		}
+		runGate(*jsonPath, *baseline, gateTol)
+		return
+	}
+
+	if *autotune || *plangate {
+		sc, err := experiments.ParseScale(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *autotune {
+			if err := experiments.RunAutotune(experiments.RunOpts{Scale: sc}, os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *plangate {
+			planTol := *tol
+			if !tolSet {
+				planTol = experiments.PlanGateTolerance
+			}
+			runPlanGate(sc, planTol)
+		}
 		return
 	}
 
@@ -146,6 +185,25 @@ func runGate(jsonPath, baselinePath string, tol float64) {
 		}
 		fmt.Printf("gate passed: no gated shape regressed more than %.0f%% vs %s\n", tol*100, baselinePath)
 	}
+}
+
+// runPlanGate runs the planner-vs-oracle comparison on every planner-gate
+// shape and exits nonzero when the planner's pick is more than tol above the
+// exhaustive sweep's best modeled critical path.
+func runPlanGate(sc experiments.Scale, tol float64) {
+	start := time.Now()
+	bad, err := experiments.PlanGate(sc, tol)
+	if err != nil {
+		fatal(err)
+	}
+	if len(bad) != 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "spgemm-bench: PLANNER REGRESSION:", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("planner gate passed: every pick within %.0f%% of the oracle sweep's best (%v)\n",
+		tol*100, time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/planner"
+	"repro/internal/spmat"
+)
+
+// AutoTuneConfig consults the analytical planner and returns a copy of rc
+// rewritten to the best predicted configuration: the layer count, the
+// induced batch count, the storage format, and the schedule. The decision
+// is made under the run's own α–β constants with CommScale 1, which is
+// exactly what core-level callers are charged (the per-rank meters are
+// never machine-scaled at this layer); callers that scale reported
+// communication afterwards — the spgemm facade — use AutoTuneOnMachine so
+// the planner weighs communication the way the run will report it. The
+// returned plan carries the full ranked candidate list and report for
+// callers that want to show the "why".
+//
+// The batch count is handled by authority, not prediction: with a memory
+// budget the run keeps ForceBatches unset so the distributed symbolic step
+// (Alg 3, which always runs — and is metered — under a budget) makes the
+// real Allreduce'd decision; the planner's induced b only ranked the
+// candidates. A probe under-estimate therefore can never push a budgeted
+// run below the batch count the budget requires. Without a budget the
+// planner's b (always 1) is pinned, skipping nothing.
+func AutoTuneConfig(a, b *spmat.CSC, rc RunConfig) (RunConfig, *planner.Plan, error) {
+	return AutoTuneOnMachine(a, b, rc, costmodel.Machine{
+		Name:           "run-config",
+		AlphaSec:       rc.Cost.AlphaSec,
+		BetaSecPerByte: rc.Cost.BetaSecPerByte,
+		ComputeScale:   1,
+		CommScale:      1,
+	})
+}
+
+// AutoTuneOnMachine is AutoTuneConfig deciding under a full machine model:
+// the planner weighs communication with the machine's CommScale, matching
+// callers (the spgemm facade, the experiment harness) that scale reported
+// comm seconds by it.
+func AutoTuneOnMachine(a, b *spmat.CSC, rc RunConfig, m costmodel.Machine) (RunConfig, *planner.Plan, error) {
+	opts := rc.Opts.withDefaults()
+	pl, err := planner.New(a, b, planner.Input{
+		P:           rc.P,
+		MemBytes:    opts.MemBytes,
+		Machine:     m,
+		BytesPerNnz: opts.BytesPerNnz,
+		Symbolic:    opts.MemBytes > 0 || opts.RunSymbolic,
+		MaxBatches:  opts.MaxBatches,
+	})
+	if err != nil {
+		return rc, nil, err
+	}
+	best := pl.Best()
+	if best == nil {
+		return rc, pl, fmt.Errorf("core: autotune found no feasible configuration under the %d-byte budget", opts.MemBytes)
+	}
+	rc.L = best.L
+	rc.Opts.AutoTune = false
+	if opts.MemBytes > 0 {
+		rc.Opts.ForceBatches = 0
+		rc.Opts.RunSymbolic = true
+	} else {
+		rc.Opts.ForceBatches = best.B
+	}
+	rc.Opts.Format = best.Format
+	rc.Opts.Pipeline = best.Pipeline
+	return rc, pl, nil
+}

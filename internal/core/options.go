@@ -119,6 +119,14 @@ type Options struct {
 	// footprint lets the symbolic step pick fewer batches under the same
 	// MemBytes (less fiber AllToAll re-broadcast volume).
 	Format spmat.Format
+	// AutoTune hands the configuration to the analytical planner
+	// (internal/planner): before the run, the layer count, batch count,
+	// storage format, and schedule are replaced by the best predicted
+	// configuration for this input pair under MemBytes and the run's α–β
+	// constants (AutoTuneConfig). Explicit Format/Pipeline settings are
+	// overridden — the knob means "decide everything for me". The decision
+	// is deterministic.
+	AutoTune bool
 	// IncrementalMerge folds each SUMMA stage's product into a running
 	// accumulator instead of keeping all stage outputs and merging once
 	// after the last stage. The paper deliberately merges once (Sec. III-A:

@@ -53,6 +53,12 @@ func RowOffsetFor(rows int32, p, l, rank int) int32 {
 // returns the assembled global product, the per-rank results, and the step
 // metering summary.
 func Multiply(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) (*spmat.CSC, []*Result, *mpi.Summary, error) {
+	if rc.Opts.AutoTune {
+		var err error
+		if rc, _, err = AutoTuneConfig(a, b, rc); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	if err := rc.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -100,6 +106,12 @@ func Multiply(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) (*spmat.CSC, []*
 // hook and never need the assembled product (the memory-constrained usage
 // the paper targets). It skips assembly and returns only results and metering.
 func MultiplyDiscard(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) ([]*Result, *mpi.Summary, error) {
+	if rc.Opts.AutoTune {
+		var err error
+		if rc, _, err = AutoTuneConfig(a, b, rc); err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := rc.Validate(); err != nil {
 		return nil, nil, err
 	}

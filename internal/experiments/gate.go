@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/planner"
 	"repro/internal/spmat"
 )
 
@@ -20,8 +21,10 @@ import (
 
 // GateSecPerWorkUnit is the pinned conversion from abstract work units
 // (flops, merged nonzeros) to modeled seconds. It is stored in the report so
-// baselines self-describe; comparing reports with different rates is refused.
-const GateSecPerWorkUnit = 1e-9
+// baselines self-describe; comparing reports with different rates is
+// refused. Defined as the planner's default rate so the autotuner's ranking
+// objective and the gate's regression metric can never drift apart.
+const GateSecPerWorkUnit = planner.DefaultSecPerWork
 
 // GateTolerance is the default relative regression threshold.
 const GateTolerance = 0.05

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+)
+
+// TestPlannerStepNamesMatchCore pins the cross-package contract: the
+// planner's step names are the core meter categories, byte for byte.
+func TestPlannerStepNamesMatchCore(t *testing.T) {
+	if len(planner.Steps) != len(core.Steps) {
+		t.Fatalf("planner has %d steps, core has %d", len(planner.Steps), len(core.Steps))
+	}
+	for i := range core.Steps {
+		if planner.Steps[i] != core.Steps[i] {
+			t.Errorf("step %d: planner %q, core %q", i, planner.Steps[i], core.Steps[i])
+		}
+	}
+}
+
+// TestPlannerWithinOracle is the planner-vs-oracle property test: on every
+// planner-gate shape (the fig-6/fig-8 and hyper-kmers gate workloads), the
+// planner's top pick must be feasible and within PlanGateTolerance of the
+// exhaustive l × b × format × pipeline sweep's best modeled critical path.
+func TestPlannerWithinOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is slow in -short mode")
+	}
+	bad, err := PlanGate(ScaleTiny, PlanGateTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range bad {
+		t.Error(msg)
+	}
+}
+
+// TestPlanGateCatchesBadPick sanity-checks the gate's teeth: with a
+// negative tolerance even the oracle's own best "regresses", so an empty
+// violation list cannot be vacuous.
+func TestPlanGateCatchesBadPick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is slow in -short mode")
+	}
+	bad, err := PlanGate(ScaleTiny, -0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Error("a -50% tolerance reported no violations — the gate cannot fail")
+	}
+}

@@ -52,6 +52,43 @@ func checkMulShapesMat(a, b spmat.Matrix) {
 	}
 }
 
+// aCursor is the A-side column access of the generic kernels: direct O(1)
+// indexing when A is CSC, a positional DCSC cursor otherwise. The inner loop
+// looks A's columns up by the row indices of one B column, which are
+// ascending whenever B is sorted (every distributed operand is), so the
+// cursor turns the former per-lookup O(log nzc) binary search into an
+// amortized O(1) forward gallop; unsorted operands fall back to the cursor's
+// binary-search path and are never worse than before. A cursor is mutable
+// single-goroutine state: every worker takes its own with cursorFor.
+type aCursor struct {
+	csc *spmat.CSC
+	dc  spmat.DCSCCursor
+}
+
+// cursorFor returns a fresh cursor over a.
+func cursorFor(a spmat.Matrix) aCursor {
+	if c, ok := a.(*spmat.CSC); ok {
+		return aCursor{csc: c}
+	}
+	return aCursor{dc: a.ToDCSC().Cursor()}
+}
+
+// Column returns views of column j's rows and values.
+func (c *aCursor) Column(j int32) ([]int32, []float64) {
+	if c.csc != nil {
+		return c.csc.Column(j)
+	}
+	return c.dc.Column(j)
+}
+
+// ColNNZ returns the entry count of column j.
+func (c *aCursor) ColNNZ(j int32) int64 {
+	if c.csc != nil {
+		return c.csc.ColNNZ(j)
+	}
+	return c.dc.ColNNZ(j)
+}
+
 // MatFlops returns the multiplication count of A·B (Flops generalized to the
 // storage interface); O(nnz(B) · lookup) with no dense column scan.
 func MatFlops(a, b spmat.Matrix) int64 {
@@ -61,10 +98,11 @@ func MatFlops(a, b spmat.Matrix) int64 {
 		}
 	}
 	checkMulShapesMat(a, b)
+	cur := cursorFor(a)
 	var total int64
 	b.EnumCols(func(_ int32, rows []int32, _ []float64) {
 		for _, i := range rows {
-			total += a.ColNNZ(i)
+			total += cur.ColNNZ(i)
 		}
 	})
 	return total
@@ -72,11 +110,12 @@ func MatFlops(a, b spmat.Matrix) int64 {
 
 // matColFlops returns the flop count of every stored output column.
 func matColFlops(a spmat.Matrix, bRefs []colRef) []int64 {
+	cur := cursorFor(a)
 	out := make([]int64, len(bRefs))
 	for p, ref := range bRefs {
 		var f int64
 		for _, i := range ref.rows {
-			f += a.ColNNZ(i)
+			f += cur.ColNNZ(i)
 		}
 		out[p] = f
 	}
@@ -89,13 +128,14 @@ func matColFlops(a spmat.Matrix, bRefs []colRef) []int64 {
 func matColNNZ(a spmat.Matrix, bRefs []colRef, colFlops []int64, bounds []int32) []int64 {
 	colNNZ := make([]int64, len(bRefs))
 	runWorkers(bounds, func(w *mmWorker, lo, hi int32) {
+		cur := cursorFor(a)
 		for p := lo; p < hi; p++ {
 			if colFlops[p] == 0 {
 				continue
 			}
 			set := w.setFor(colFlops[p])
 			for _, i := range bRefs[p].rows {
-				rws, _ := a.Column(i)
+				rws, _ := cur.Column(i)
 				for _, r := range rws {
 					set.insert(r)
 				}
@@ -173,6 +213,7 @@ func MulMat(k Kernel, a, b spmat.Matrix, sr *semiring.Semiring, threads int) spm
 	// Phase 2: numeric fill, each column written at its final offset.
 	plusTimes := sr.IsPlusTimes()
 	runWorkers(bounds, func(w *mmWorker, lo, hi int32) {
+		cur := cursorFor(a)
 		for p := lo; p < hi; p++ {
 			if colNNZ[p] == 0 {
 				continue
@@ -181,12 +222,12 @@ func MulMat(k Kernel, a, b spmat.Matrix, sr *semiring.Semiring, threads int) spm
 			switch {
 			case k == KernelHeap,
 				k == KernelHybrid && colFlops[p] <= hybridHeapThreshold:
-				outRows, _ := heapMulColumnMat(w, a, bRefs[p].rows, bRefs[p].vals, sr, plusTimes,
+				outRows, _ := heapMulColumnMat(w, &cur, bRefs[p].rows, bRefs[p].vals, sr, plusTimes,
 					dstRows[:0:len(dstRows)], dstVals[:0:len(dstVals)])
 				checkColumnFill(outRows, int64(len(dstRows)))
 			default:
 				acc := w.accFor(colFlops[p])
-				hashAccumulateColumnMat(acc, a, bRefs[p].rows, bRefs[p].vals, sr, plusTimes)
+				hashAccumulateColumnMat(acc, &cur, bRefs[p].rows, bRefs[p].vals, sr, plusTimes)
 				acc.drainAt(dstRows, dstVals)
 				if sortedOut {
 					sortColumnSlices(dstRows, dstVals)
@@ -272,8 +313,10 @@ func (b *matBuilder) finish() spmat.Matrix {
 
 // hashAccumulateColumnMat is hashAccumulateColumn over the storage
 // interface: one output column's products fed into acc, in the same operand
-// order as the CSC kernels.
-func hashAccumulateColumnMat(acc *hashAccum, a spmat.Matrix, bRows []int32, bVals []float64, sr *semiring.Semiring, plusTimes bool) {
+// order as the CSC kernels. The A side is accessed through the caller's
+// positional cursor, so the per-entry lookup is amortized O(1) on sorted B
+// columns instead of the O(log nzc) binary search of Matrix.Column.
+func hashAccumulateColumnMat(acc *hashAccum, a *aCursor, bRows []int32, bVals []float64, sr *semiring.Semiring, plusTimes bool) {
 	if plusTimes {
 		for p := range bRows {
 			i, bv := bRows[p], bVals[p]
@@ -294,11 +337,11 @@ func hashAccumulateColumnMat(acc *hashAccum, a spmat.Matrix, bRows []int32, bVal
 }
 
 // heapMulColumnMat is heapMulColumn over the storage interface: the column
-// views of A are fetched once per contributing entry into the worker's
-// pooled scratch and cursored by index — no per-column allocation, like the
-// CSC kernel. Push order and tie handling match the CSC version exactly, so
-// the output is bit-identical.
-func heapMulColumnMat(w *mmWorker, a spmat.Matrix, bRows []int32, bVals []float64, sr *semiring.Semiring, plusTimes bool, rows []int32, vals []float64) ([]int32, []float64) {
+// views of A are fetched once per contributing entry (through the caller's
+// positional cursor) into the worker's pooled scratch and cursored by index
+// — no per-column allocation, like the CSC kernel. Push order and tie
+// handling match the CSC version exactly, so the output is bit-identical.
+func heapMulColumnMat(w *mmWorker, a *aCursor, bRows []int32, bVals []float64, sr *semiring.Semiring, plusTimes bool, rows []int32, vals []float64) ([]int32, []float64) {
 	if cap(w.aRowsV) < len(bRows) {
 		w.aRowsV = make([][]int32, len(bRows))
 		w.aValsV = make([][]float64, len(bRows))

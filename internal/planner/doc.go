@@ -1,0 +1,32 @@
+// Package planner is the analytical autotuner: given the cheap statistics of
+// a multiplication (dimensions, nonzero counts, a sampled symbolic probe of
+// the output, per-block hypersparsity occupancy), a machine's α–β constants,
+// a rank count p, and an aggregate memory budget M, it enumerates every
+// feasible BATCHEDSUMMA3D configuration — all layer counts l with square
+// layers, the batch count b the per-format footprint model induces under M
+// (mirroring the distributed symbolic step's decision without running it),
+// storage format ∈ {csc, dcsc, auto}, and pipeline on/off with the hidden
+// share predicted by the overlap-ledger model — and predicts each
+// configuration's modeled critical-path seconds per step (Symbolic,
+// A-Broadcast, B-Broadcast, Local-Multiply, Merge-Layer, AllToAll-Fiber,
+// Merge-Fiber). The result is a ranked Plan with a per-step cost breakdown
+// and a human-readable "why" report.
+//
+// The predictors deliberately mirror the metered simulation rather than the
+// paper's closed forms: communication uses the exact wire-size formula
+// (spmat.WireBytesFor) over exactly-computed per-block occupancy, so the
+// A-broadcast and symbolic predictions reproduce the meters to the byte;
+// output-side quantities (unmerged intermediates, merge volumes, the fiber
+// exchange) come from the sampled probe through a balls-in-bins
+// slice-splitting model, so they are estimates. The modeled objective is the
+// same one the CI perf gate scores: per-step max-over-ranks α–β communication
+// plus total work units at a pinned seconds-per-work rate — deterministic on
+// any host.
+//
+// The planner is consumed three ways: core.Options.AutoTune rewrites a
+// RunConfig with the best candidate before a run, `spgemm-bench -autotune`
+// prints the plan and then executes it, and `mtxinfo -plan` reports the
+// ranked configurations for a Matrix Market file. The `planner` experiment
+// (and `spgemm-bench -plangate`) scores the planner's pick against an
+// exhaustive oracle sweep.
+package planner

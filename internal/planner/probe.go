@@ -1,0 +1,394 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/spmat"
+)
+
+// Probe holds the cheap statistics the predictors work from: exact input
+// shapes and flop count, plus a sampled per-column symbolic probe of the
+// output. Probing costs O(nnz(B) + sampled flops) — independent of any
+// candidate configuration — and is fully deterministic (stride sampling).
+type Probe struct {
+	// RowsA, Inner, ColsB are the global shapes: A is RowsA×Inner, B is
+	// Inner×ColsB.
+	RowsA, Inner, ColsB int32
+	// NnzA and NnzB are the exact input nonzero counts.
+	NnzA, NnzB int64
+	// Flops is the exact multiplication count of A·B.
+	Flops int64
+	// SampledCols is how many B columns the symbolic probe visited.
+	SampledCols int
+	// NnzCEst estimates nnz(A·B) from the sample (exact when every column
+	// was sampled).
+	NnzCEst int64
+	// NzcCEst estimates the non-empty output columns from the sample.
+	NzcCEst int64
+
+	// scale extrapolates sampled sums to all columns.
+	scale float64
+	// sampleFlops[k] and sampleNNZ[k] are the flop count and exact output
+	// nonzeros of the k-th sampled column.
+	sampleFlops []int64
+	sampleNNZ   []int64
+	// sampleColID[k] is the global B column of sample k and sampleRows[k]
+	// its sorted distinct output rows — the sampled output structure the
+	// per-grid imbalance estimate partitions.
+	sampleColID []int32
+	sampleRows  [][]int32
+	// flopsByInner[r] is the exact flop count attributed to inner index r
+	// (B's row-r entry count × nnz of A column r): the distribution that
+	// decides how much work each (stage, layer) slice of the inner
+	// dimension carries. Power-law inputs concentrate it on a few hub
+	// indices, which is what makes layers unequal.
+	flopsByInner []int64
+}
+
+// DefaultSampleCols is the probe's default symbolic sample size.
+const DefaultSampleCols = 256
+
+// ProbePair probes the pair (A, B), sampling at most sample columns of B for
+// the symbolic estimate (0 means DefaultSampleCols). Sampling is a fixed
+// stride over the column range, so the probe — and every decision derived
+// from it — is deterministic.
+func ProbePair(a, b *spmat.CSC, sample int) (*Probe, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("planner: inner dimension mismatch: A is %v, B is %v", a, b)
+	}
+	if sample <= 0 {
+		sample = DefaultSampleCols
+	}
+	pr := &Probe{
+		RowsA: a.Rows, Inner: a.Cols, ColsB: b.Cols,
+		NnzA: a.NNZ(), NnzB: b.NNZ(),
+	}
+	cols := int(b.Cols)
+	if sample > cols {
+		sample = cols
+	}
+	pr.SampledCols = sample
+	if sample > 0 {
+		pr.scale = float64(cols) / float64(sample)
+	} else {
+		pr.scale = 1
+	}
+
+	// Exact flop count and its distribution over the inner dimension: one
+	// pass over B's entries.
+	pr.flopsByInner = make([]int64, a.Cols)
+	b.EnumCols(func(_ int32, rows []int32, _ []float64) {
+		for _, r := range rows {
+			f := a.ColNNZ(r)
+			pr.Flops += f
+			pr.flopsByInner[r] += f
+		}
+	})
+
+	// Sampled symbolic probe: exact per-column flops and distinct output
+	// rows for a deterministic stride of columns.
+	var scratch []int32
+	var sumNNZ int64
+	var occupied int64
+	for k := 0; k < sample; k++ {
+		j := int32(int64(k) * int64(cols) / int64(sample))
+		bRows, _ := b.Column(j)
+		var f int64
+		scratch = scratch[:0]
+		for _, r := range bRows {
+			aRows, _ := a.Column(r)
+			f += int64(len(aRows))
+			scratch = append(scratch, aRows...)
+		}
+		sort.Slice(scratch, func(x, y int) bool { return scratch[x] < scratch[y] })
+		distinct := make([]int32, 0, len(scratch))
+		for x := range scratch {
+			if x == 0 || scratch[x] != scratch[x-1] {
+				distinct = append(distinct, scratch[x])
+			}
+		}
+		c := int64(len(distinct))
+		pr.sampleFlops = append(pr.sampleFlops, f)
+		pr.sampleNNZ = append(pr.sampleNNZ, c)
+		pr.sampleColID = append(pr.sampleColID, j)
+		pr.sampleRows = append(pr.sampleRows, distinct)
+		sumNNZ += c
+		if c > 0 {
+			occupied++
+		}
+	}
+	pr.NnzCEst = int64(pr.scale * float64(sumNNZ))
+	pr.NzcCEst = int64(pr.scale * float64(occupied))
+	return pr, nil
+}
+
+// Unmerged estimates the total unmerged intermediate nonzeros Σ nnz(D̃) when
+// the inner dimension is split into slices carrying equal flop shares — the
+// uniform special case of UnmergedW, kept for envelope reasoning and tests.
+func (pr *Probe) Unmerged(slices int) float64 {
+	if slices < 1 {
+		slices = 1
+	}
+	w := make([]float64, slices)
+	for i := range w {
+		w[i] = 1 / float64(slices)
+	}
+	total, _ := pr.UnmergedW(w)
+	return total
+}
+
+// UnmergedW estimates the unmerged intermediate nonzeros when the inner
+// dimension is split into len(weights) slices carrying the given flop
+// shares (weights sum to 1; SliceWeights computes real ones), returning the
+// total and the per-slice breakdown. This is the quantity behind Merge-Layer
+// input (one slice per SUMMA stage per layer), the merged per-layer outputs
+// and fiber exchange volume (one slice per layer), and nnz(C) itself (one
+// slice).
+//
+// Per sampled column with f flops hitting c distinct output rows, a slice
+// carrying share w of the flops holds c·(1−(1−1/c)^(f·w)) distinct rows in
+// expectation (each flop a uniform draw over the c rows); the column's
+// unmerged total is the sum over slices — exactly c for one slice and
+// approaching f as slices shrink, the right endpoints by construction. The
+// per-column total is clamped to the analytic envelope [c, f], rescaling
+// slices proportionally.
+func (pr *Probe) UnmergedW(weights []float64) (float64, []float64) {
+	perSlice := make([]float64, len(weights))
+	var total float64
+	for k, f := range pr.sampleFlops {
+		c := float64(pr.sampleNNZ[k])
+		if c <= 0 {
+			continue
+		}
+		fm := float64(f)
+		var colTotal float64
+		for s, w := range weights {
+			u := c * (1 - math.Pow(1-1/c, fm*w))
+			perSlice[s] += u // rescaled below if the column clamps
+			colTotal += u
+		}
+		clamped := colTotal
+		if clamped < c {
+			clamped = c
+		}
+		if clamped > fm {
+			clamped = fm
+		}
+		if colTotal > 0 && clamped != colTotal {
+			adj := clamped/colTotal - 1
+			for s, w := range weights {
+				perSlice[s] += adj * c * (1 - math.Pow(1-1/c, fm*w))
+			}
+		}
+		total += clamped
+	}
+	for s := range perSlice {
+		perSlice[s] *= pr.scale
+	}
+	return pr.scale * total, perSlice
+}
+
+// SliceWeights returns the exact flop share of each of the q·l inner
+// slices — the (stage, layer) partition of A's columns the 3D algorithm
+// works in, flattened s·l+k. Uniform when the multiplication has no flops.
+func (pr *Probe) SliceWeights(q, l int) []float64 {
+	w := make([]float64, q*l)
+	colB := spmat.PartBounds(pr.Inner, q)
+	var total float64
+	for s := 0; s < q; s++ {
+		sb := spmat.PartBounds(colB[s+1]-colB[s], l)
+		for k := 0; k < l; k++ {
+			var sum int64
+			for c := colB[s] + sb[k]; c < colB[s]+sb[k+1]; c++ {
+				sum += pr.flopsByInner[c]
+			}
+			w[s*l+k] = float64(sum)
+			total += float64(sum)
+		}
+	}
+	if total == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// LayerWeights folds SliceWeights over the stages: the flop share of each
+// layer's slice of the inner dimension.
+func (pr *Probe) LayerWeights(q, l int) []float64 {
+	sw := pr.SliceWeights(q, l)
+	w := make([]float64, l)
+	for s := 0; s < q; s++ {
+		for k := 0; k < l; k++ {
+			w[k] += sw[s*l+k]
+		}
+	}
+	return w
+}
+
+// outputImbalance estimates the max/mean ratio of the per-rank output
+// volume on a q×q layer grid by partitioning the sampled output structure
+// into the grid's (row block, column block) cells — the factor separating
+// the fiber exchange's critical-path rank from the balanced mean on
+// power-law outputs (hub rows concentrate merged entries on a few process
+// rows). Returns 1 for q = 1 or an empty sample.
+func (pr *Probe) outputImbalance(q int) float64 {
+	if q <= 1 || len(pr.sampleRows) == 0 {
+		return 1
+	}
+	rowB := spmat.PartBounds(pr.RowsA, q)
+	colB := spmat.PartBounds(pr.ColsB, q)
+	w := make([]float64, q*q)
+	for k, rows := range pr.sampleRows {
+		j := partIndex(colB, pr.sampleColID[k])
+		for _, r := range rows {
+			w[partIndex(rowB, r)*q+j]++
+		}
+	}
+	var max, sum float64
+	for _, v := range w {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max * float64(len(w)) / sum
+}
+
+// gridStat holds the exact per-block statistics of one candidate q×q×l grid:
+// nonzeros and occupied columns of every Ã and B̃ block, computed by one
+// O(nnz·log q + cols) pass per operand over the same PartBounds partitions
+// the distribution layer uses. These feed the byte-exact broadcast
+// predictions and the per-format footprint maxima.
+type gridStat struct {
+	q, l int
+	// A blocks indexed (i, s, k) → (i·q+s)·l + k: row block i, column block
+	// s, layer slice k. aCols is per (s, k) → s·l + k (independent of i).
+	aNNZ, aNE []int64
+	aCols     []int32
+	// B blocks indexed (i, j, k) → (i·q+j)·l + k: row block i sliced into
+	// layer k, column block j. bCols is per j.
+	bNNZ, bNE []int64
+	bCols     []int32
+
+	// Memoized slice-model outputs (format-independent, so the per-format
+	// prediction loop computes them once per grid): the unmerged totals and
+	// per-slice breakdowns for the q·l stage slices and the l layer slices.
+	sliceModelDone        bool
+	uQL, uL               float64
+	perSliceQL, perLayerL []float64
+	maxLayerQL, maxLayerL float64
+}
+
+// sliceModel fills the memoized probe-derived volumes.
+func (gs *gridStat) sliceModel(pr *Probe) {
+	if gs.sliceModelDone {
+		return
+	}
+	gs.uQL, gs.perSliceQL = pr.UnmergedW(pr.SliceWeights(gs.q, gs.l))
+	gs.uL, gs.perLayerL = pr.UnmergedW(pr.LayerWeights(gs.q, gs.l))
+	for k := 0; k < gs.l; k++ {
+		var s float64
+		for st := 0; st < gs.q; st++ {
+			s += gs.perSliceQL[st*gs.l+k]
+		}
+		if s > gs.maxLayerQL {
+			gs.maxLayerQL = s
+		}
+		if gs.perLayerL[k] > gs.maxLayerL {
+			gs.maxLayerL = gs.perLayerL[k]
+		}
+	}
+	gs.sliceModelDone = true
+}
+
+// blockIdx flattens (x, y, k) on a q×q×l grid.
+func (gs *gridStat) blockIdx(x, y, k int) int { return (x*gs.q+y)*gs.l + k }
+
+// partIndex returns the partition index of v under ascending bounds
+// (PartBounds output), by binary search.
+func partIndex(bounds []int32, v int32) int {
+	return sort.Search(len(bounds)-1, func(i int) bool { return bounds[i+1] > v })
+}
+
+// computeGridStat measures the candidate grid's exact block occupancy.
+func computeGridStat(a, b *spmat.CSC, q, l int) *gridStat {
+	gs := &gridStat{
+		q: q, l: l,
+		aNNZ: make([]int64, q*q*l), aNE: make([]int64, q*q*l),
+		aCols: make([]int32, q*l),
+		bNNZ:  make([]int64, q*q*l), bNE: make([]int64, q*q*l),
+		bCols: make([]int32, q),
+	}
+
+	// A side: rows into q blocks, columns into q blocks of l slices each.
+	aRowB := spmat.PartBounds(a.Rows, q)
+	aColB := spmat.PartBounds(a.Cols, q)
+	// colSlice[c] = flattened (s, k) of column c.
+	colSlice := make([]int32, a.Cols)
+	for s := 0; s < q; s++ {
+		c0, c1 := aColB[s], aColB[s+1]
+		sb := spmat.PartBounds(c1-c0, l)
+		for k := 0; k < l; k++ {
+			gs.aCols[s*l+k] = sb[k+1] - sb[k]
+			for c := c0 + sb[k]; c < c0+sb[k+1]; c++ {
+				colSlice[c] = int32(s*l + k)
+			}
+		}
+	}
+	seen := make([]int32, q) // per-column row-block stamps
+	stamp := int32(0)
+	a.EnumCols(func(j int32, rows []int32, _ []float64) {
+		stamp++
+		sk := int(colSlice[j])
+		for _, r := range rows {
+			i := partIndex(aRowB, r)
+			idx := (i*q+sk/l)*l + sk%l
+			gs.aNNZ[idx]++
+			if seen[i] != stamp {
+				seen[i] = stamp
+				gs.aNE[idx]++
+			}
+		}
+	})
+
+	// B side: columns into q blocks, rows into q blocks of l slices each.
+	bColB := spmat.PartBounds(b.Cols, q)
+	for j := 0; j < q; j++ {
+		gs.bCols[j] = bColB[j+1] - bColB[j]
+	}
+	bRowB := spmat.PartBounds(b.Rows, q)
+	// Per row block i, the l+1 inner slice bounds.
+	innerB := make([][]int32, q)
+	for i := 0; i < q; i++ {
+		innerB[i] = spmat.PartBounds(bRowB[i+1]-bRowB[i], l)
+	}
+	seenIK := make([]int32, q*l)
+	stamp = 0
+	colOf := func(c int32) int { return partIndex(bColB, c) }
+	b.EnumCols(func(c int32, rows []int32, _ []float64) {
+		stamp++
+		j := colOf(c)
+		for _, r := range rows {
+			i := partIndex(bRowB, r)
+			k := partIndex(innerB[i], r-bRowB[i])
+			idx := (i*q+j)*l + k
+			gs.bNNZ[idx]++
+			if ik := i*l + k; seenIK[ik] != stamp {
+				seenIK[ik] = stamp
+				gs.bNE[idx]++
+			}
+		}
+	})
+	return gs
+}

@@ -88,6 +88,80 @@ func (d *DCSC) ColumnAt(p int) (j int32, rows []int32, vals []float64) {
 	return d.JC[p], d.IR[lo:hi], d.Num[lo:hi]
 }
 
+// DCSCCursor is a positional column cursor: a stateful alternative to the
+// per-call binary search of Column/ColNNZ for access patterns that are
+// mostly ascending — exactly the A-side lookups of the generic SpGEMM inner
+// loop, which walk a (sorted) B column's row indices in order. Consecutive
+// ascending lookups cost amortized O(1) per stored column passed (a gallop
+// from the previous position); a backward jump falls back to binary search
+// over the prefix, so no pattern is ever worse than the O(log nzc) the
+// cursor replaces. A cursor is single-goroutine state; concurrent workers
+// each take their own with Cursor().
+type DCSCCursor struct {
+	d   *DCSC
+	pos int
+}
+
+// Cursor returns a fresh cursor positioned before the first stored column.
+func (d *DCSC) Cursor() DCSCCursor { return DCSCCursor{d: d} }
+
+// find locates column j like DCSC.find but starting from the cursor
+// position: a hit at pos is O(1), a forward miss gallops, a backward miss
+// binary-searches the prefix. The cursor always lands on the first stored
+// column ≥ j, so an ascending scan never revisits ground already passed.
+func (c *DCSCCursor) find(j int32) int {
+	jc := c.d.JC
+	n := len(jc)
+	lo, hi := 0, n
+	if c.pos < n {
+		switch {
+		case jc[c.pos] == j:
+			return c.pos
+		case jc[c.pos] < j:
+			// Gallop: double the step until it overshoots, then search the
+			// last window. The window start stays unverified (Search copes).
+			lo = c.pos + 1
+			step := 1
+			for lo+step < n && jc[lo+step] < j {
+				lo += step
+				step <<= 1
+			}
+			if w := lo + step + 1; w < hi {
+				hi = w
+			}
+		default: // jc[c.pos] > j: the target is in the prefix.
+			hi = c.pos
+		}
+	}
+	p := lo + sort.Search(hi-lo, func(i int) bool { return jc[lo+i] >= j })
+	c.pos = p
+	if p < n && jc[p] == j {
+		return p
+	}
+	return -1
+}
+
+// ColNNZ returns the entry count of column j (0 for absent columns),
+// advancing the cursor.
+func (c *DCSCCursor) ColNNZ(j int32) int64 {
+	p := c.find(j)
+	if p < 0 {
+		return 0
+	}
+	return c.d.CP[p+1] - c.d.CP[p]
+}
+
+// Column returns views of column j's rows and values (empty for absent
+// columns), advancing the cursor.
+func (c *DCSCCursor) Column(j int32) ([]int32, []float64) {
+	p := c.find(j)
+	if p < 0 {
+		return nil, nil
+	}
+	lo, hi := c.d.CP[p], c.d.CP[p+1]
+	return c.d.IR[lo:hi], c.d.Num[lo:hi]
+}
+
 // EnumCols calls fn for every non-empty column in ascending order.
 func (d *DCSC) EnumCols(fn func(j int32, rows []int32, vals []float64)) {
 	for p := range d.JC {
@@ -216,10 +290,21 @@ func (d *DCSC) MemBytes() int64 {
 // exactly what lets the memory-constrained symbolic step (Alg 3 line 12)
 // choose fewer batches.
 func BlockMemBytes(m Matrix, r int64) int64 {
-	if m.Format() == FormatDCSC {
-		return (r/2)*m.NNZ() + 12*m.NonEmptyCols() + 8
+	return MemBytesModel(m.Format(), m.NNZ(), m.NonEmptyCols(), r)
+}
+
+// MemBytesModel is the numeric core of BlockMemBytes: the modeled footprint
+// of a block with nnz entries in ne non-empty columns stored in format f,
+// under r bytes per nonzero. Exposed separately so cost predictors (the
+// planner) can evaluate footprints from block statistics without
+// materializing a block. FormatAuto applies the Hypersparse-style per-block
+// choice a caller cannot make without the column count, so it is rejected —
+// resolve the format first.
+func MemBytesModel(f Format, nnz, ne, r int64) int64 {
+	if f == FormatDCSC {
+		return (r/2)*nnz + 12*ne + 8
 	}
-	return r * m.NNZ()
+	return r * nnz
 }
 
 // String returns a compact shape summary.

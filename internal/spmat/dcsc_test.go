@@ -217,3 +217,88 @@ func TestDCSCMemBytesSmallerWhenHypersparse(t *testing.T) {
 		t.Fatalf("hypersparse DCSC footprint %d not below CSC %d", d, c)
 	}
 }
+
+// TestDCSCCursorMatchesFind drives a cursor through ascending, backward, and
+// random access patterns and checks every lookup against the stateless
+// binary-search accessors.
+func TestDCSCCursorMatchesFind(t *testing.T) {
+	d := randomNNZCSC(t, 32, 2048, 300, 77).ToDCSC()
+	check := func(cur *DCSCCursor, j int32) {
+		t.Helper()
+		wantRows, wantVals := d.Column(j)
+		gotRows, gotVals := cur.Column(j)
+		if len(gotRows) != len(wantRows) || len(gotVals) != len(wantVals) {
+			t.Fatalf("column %d: cursor returned %d entries, want %d", j, len(gotRows), len(wantRows))
+		}
+		for p := range wantRows {
+			if gotRows[p] != wantRows[p] || gotVals[p] != wantVals[p] {
+				t.Fatalf("column %d entry %d differs", j, p)
+			}
+		}
+		if got, want := cur.ColNNZ(j), d.ColNNZ(j); got != want {
+			t.Fatalf("column %d: cursor ColNNZ %d, want %d", j, got, want)
+		}
+	}
+
+	// Ascending full scan (the access pattern the cursor optimizes): every
+	// column, stored or absent.
+	cur := d.Cursor()
+	for j := int32(0); j < d.Cols; j++ {
+		check(&cur, j)
+	}
+	// Descending scan (worst case for a positional cursor — must still be
+	// correct via the binary-search fallback).
+	cur = d.Cursor()
+	for j := d.Cols - 1; j >= 0; j-- {
+		check(&cur, j)
+	}
+	// Random jumps, including repeats and out-of-range-ish extremes.
+	rng := rand.New(rand.NewSource(99))
+	cur = d.Cursor()
+	for i := 0; i < 2000; i++ {
+		check(&cur, int32(rng.Intn(int(d.Cols))))
+	}
+	check(&cur, 0)
+	check(&cur, d.Cols-1)
+}
+
+// TestDCSCCursorEmpty pins the degenerate cases.
+func TestDCSCCursorEmpty(t *testing.T) {
+	d := NewDCSC(4, 4)
+	cur := d.Cursor()
+	if n := cur.ColNNZ(2); n != 0 {
+		t.Fatalf("empty matrix ColNNZ = %d", n)
+	}
+	if rows, vals := cur.Column(0); len(rows) != 0 || len(vals) != 0 {
+		t.Fatal("empty matrix returned entries")
+	}
+}
+
+// TestMemBytesModelMatchesBlockMemBytes keeps the statistics-only footprint
+// model (used by the planner) in lockstep with the Matrix-based accounting.
+func TestMemBytesModelMatchesBlockMemBytes(t *testing.T) {
+	m := randomNNZCSC(t, 64, 512, 400, 5)
+	d := m.ToDCSC()
+	const r = 24
+	if got, want := MemBytesModel(FormatCSC, m.NNZ(), m.NonEmptyCols(), r), BlockMemBytes(m, r); got != want {
+		t.Fatalf("CSC model %d, BlockMemBytes %d", got, want)
+	}
+	if got, want := MemBytesModel(FormatDCSC, d.NNZ(), d.NonEmptyCols(), r), BlockMemBytes(d, r); got != want {
+		t.Fatalf("DCSC model %d, BlockMemBytes %d", got, want)
+	}
+}
+
+// TestWireBytesForMatchesCommBytes keeps the statistics-only wire-size model
+// in lockstep with the serializer for both encodings.
+func TestWireBytesForMatchesCommBytes(t *testing.T) {
+	hyper := randomNNZCSC(t, 64, 4096, 500, 6) // hypersparse: wire compresses
+	dense := randomNNZCSC(t, 64, 32, 500, 7)   // dense-ish: wire stays flat
+	for _, m := range []*CSC{hyper, dense} {
+		if got, want := WireBytesFor(m.Cols, m.NonEmptyCols(), m.NNZ()), m.CommBytes(); got != want {
+			t.Fatalf("%v: WireBytesFor %d, CommBytes %d", m, got, want)
+		}
+		if got, want := WireBytesFor(m.Cols, m.NonEmptyCols(), m.NNZ()), int64(len(m.Serialize())); got != want {
+			t.Fatalf("%v: WireBytesFor %d, len(Serialize) %d", m, got, want)
+		}
+	}
+}

@@ -51,6 +51,16 @@ func wireBytes(hyper bool, cols int32, ne, nnz int64) int64 {
 	return serialHeader + 8*int64(cols+1) + 12*nnz
 }
 
+// WireBytesFor returns the wire size of a block with cols columns, ne of
+// them occupied, and nnz entries — the same encoding choice and size formula
+// the serializer uses, evaluable from block statistics alone. Cost
+// predictors (the planner) use it so their modeled communication volume is
+// byte-identical to what the metered run will charge for a block with the
+// same occupancy.
+func WireBytesFor(cols int32, ne, nnz int64) int64 {
+	return wireBytes(Hypersparse(ne, cols), cols, ne, nnz)
+}
+
 // CommBytes returns the number of bytes the matrix occupies on the wire. The
 // simulated MPI layer uses it to meter communication volume; it equals
 // len(Serialize(m)) without allocating.

@@ -240,6 +240,14 @@ type Options struct {
 	// footprints, so the symbolic step can choose fewer batches for
 	// hypersparse inputs under the same MemBytes.
 	Format Format
+	// AutoTune hands every remaining knob to the analytical planner: the
+	// cluster's layer count, the batch count, Format, and Pipeline are
+	// replaced by the best configuration the cost model predicts for this
+	// input pair under MemBytes — the paper's l/b/format sweeps decided
+	// analytically instead of by hand. The decision is deterministic; the
+	// executed configuration is reported in Stats.Layers, Stats.Batches,
+	// Stats.Format, and Stats.Pipeline.
+	AutoTune bool
 }
 
 func (o Options) toCore() core.Options {
@@ -253,6 +261,7 @@ func (o Options) toCore() core.Options {
 		Threads:      o.Threads,
 		Pipeline:     o.Pipeline,
 		Format:       o.Format,
+		AutoTune:     o.AutoTune,
 	}
 }
 
@@ -265,6 +274,14 @@ type Stats struct {
 	// Batches is the executed batch count (the symbolic decision unless
 	// forced).
 	Batches int
+	// Layers is the executed layer count — the cluster's own unless
+	// Options.AutoTune replaced it.
+	Layers int
+	// Format and Pipeline are the executed storage and schedule knobs
+	// (relevant with Options.AutoTune, which may override the requested
+	// ones).
+	Format   Format
+	Pipeline bool
 	// PeakMemBytes is the max-over-ranks modeled memory high-water mark.
 	PeakMemBytes int64
 	// Flops is the total multiplication count across ranks.
@@ -352,11 +369,25 @@ func (c *Cluster) MultiplyBatched(a, b *Matrix, opts Options, hook func(rank, ba
 
 func (c *Cluster) multiply(a, b *Matrix, opts Options, hf core.HookFactory) (*Matrix, *Stats, error) {
 	rc := core.RunConfig{P: c.procs, L: c.layers, Cost: c.machine.Cost(), Opts: opts.toCore()}
+	if opts.AutoTune {
+		// Resolve the plan here (rather than inside core.Multiply) so the
+		// executed configuration can be reported in Stats, and under the
+		// cluster's full machine model so the planner weighs communication
+		// with the same CommScale the reported stats will carry.
+		var err error
+		if rc, _, err = core.AutoTuneOnMachine(a, b, rc, c.machine); err != nil {
+			return nil, nil, err
+		}
+	}
 	out, results, summary, err := core.Multiply(a, b, rc, hf)
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, c.stats(results, summary), nil
+	st := c.stats(results, summary)
+	st.Layers = rc.L
+	st.Format = rc.Opts.Format
+	st.Pipeline = rc.Opts.Pipeline
+	return out, st, nil
 }
 
 // stats converts internal results into the public Stats.

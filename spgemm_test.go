@@ -360,3 +360,51 @@ func TestFacadePipelined(t *testing.T) {
 		t.Errorf("pipelined run hid no AllToAll-Fiber time (hidden %v)", h)
 	}
 }
+
+// TestFacadeAutoTune: Options.AutoTune must pick a configuration by itself
+// (possibly changing the cluster's layer count), produce the exact same
+// product values, report the executed knobs, and decide deterministically.
+func TestFacadeAutoTune(t *testing.T) {
+	a := spgemm.RandomProteinNetwork(7, 6, 1)
+	want := spgemm.MultiplySerial(a, a, nil)
+	cluster := spgemm.NewCluster(16, 1)
+
+	got, stats, err := cluster.Multiply(a, a, spgemm.Options{AutoTune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.EqualApprox(got, want, 1e-9) {
+		t.Error("autotuned multiply differs from serial")
+	}
+	if stats.Layers < 1 || stats.Batches < 1 {
+		t.Errorf("unreported configuration: layers=%d batches=%d", stats.Layers, stats.Batches)
+	}
+	if stats.Batches != 1 {
+		t.Errorf("unconstrained autotune picked b=%d, want 1", stats.Batches)
+	}
+
+	_, stats2, err := cluster.Multiply(a, a, spgemm.Options{AutoTune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Layers != stats2.Layers || stats.Batches != stats2.Batches ||
+		stats.Format != stats2.Format || stats.Pipeline != stats2.Pipeline {
+		t.Errorf("autotune decision not deterministic: %d/%d/%v/%v vs %d/%d/%v/%v",
+			stats.Layers, stats.Batches, stats.Format, stats.Pipeline,
+			stats2.Layers, stats2.Batches, stats2.Format, stats2.Pipeline)
+	}
+
+	// Under a memory budget the induced batch count must be respected and
+	// the run stay correct.
+	budget := int64(24) * 8 * a.NNZ()
+	gotB, statsB, err := cluster.Multiply(a, a, spgemm.Options{AutoTune: true, MemBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.EqualApprox(gotB, want, 1e-9) {
+		t.Error("budgeted autotuned multiply differs from serial")
+	}
+	if statsB.Batches < 1 {
+		t.Errorf("budgeted autotune reported batches=%d", statsB.Batches)
+	}
+}
