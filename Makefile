@@ -57,11 +57,16 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 	$(GO) tool cover -html=cover.out -o cover.html
 
-# fuzz: bounded fuzz pass over the Matrix Market reader (seed corpus in
-# internal/spmat/testdata/fuzz). Override FUZZTIME for longer local runs,
-# e.g. `make fuzz FUZZTIME=5m`. The default 30s bound is what `make ci` runs.
+# fuzz: bounded fuzz passes over the two untrusted-input parsers — the
+# Matrix Market reader and the wire-format deserializer (seed corpora in
+# internal/spmat/testdata/fuzz plus in-code seeds for the historical
+# header-overflow and row-out-of-range bugs). The Go fuzzer takes one
+# -fuzz pattern per invocation, hence two lines. Override FUZZTIME for
+# longer local runs, e.g. `make fuzz FUZZTIME=5m`; the default 30s bound
+# per target is what `make ci` runs.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMatrixMarket -fuzztime=$(FUZZTIME) ./internal/spmat
+	$(GO) test -run='^$$' -fuzz=FuzzDeserializeMatrix -fuzztime=$(FUZZTIME) ./internal/spmat
 
 # perfgate: the performance-regression gate the nightly workflow enforces.
 # Runs pinned fig-6/8 shapes, emits BENCH_pr3.json, and fails when any gated

@@ -13,6 +13,8 @@
 //	spgemm-bench -exp pipeline                # staged-vs-overlapped ablation
 //	spgemm-bench -exp fig6 -format dcsc       # force doubly-compressed blocks
 //	spgemm-bench -exp hypersparse             # CSC-vs-DCSC storage ablation
+//	spgemm-bench -exp fig6 -sparsecomm auto   # column-subset A-broadcasts
+//	spgemm-bench -exp sparsecomm              # full-vs-subset broadcast ablation
 //
 //	spgemm-bench -gate -json BENCH_pr3.json                            # emit the stats dump
 //	spgemm-bench -gate -json BENCH_pr3.json -baseline BENCH_baseline.json
@@ -36,6 +38,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/mpi"
 	"repro/internal/spmat"
 )
 
@@ -47,6 +50,7 @@ func main() {
 		threads  = flag.Int("threads", 1, "worker goroutines per rank in local multiply/merge kernels (1 = serial, the published figure shapes)")
 		pipeline = flag.Bool("pipeline", false, "fully-overlapped schedule: prefetch stage broadcasts within and across batches and hide the fiber AllToAll behind Merge-Layer (off = the paper's staged schedule)")
 		format   = flag.String("format", "auto", "in-memory block storage: csc | dcsc | auto (auto compresses a block to DCSC when fewer than half its columns are occupied)")
+		sparse   = flag.String("sparsecomm", "off", "column-subset A-broadcast: off | auto | on (off reproduces the published figure shapes byte-identically; auto picks subsets per stage when the α–β model prices them cheaper)")
 		gate     = flag.Bool("gate", false, "run the deterministic perf-regression gate on pinned fig-6/8 shapes instead of an experiment")
 		autotune = flag.Bool("autotune", false, "plan the gate shapes with the analytical autotuner, print each ranked plan, run the chosen configuration, and show the predicted-vs-measured per-step breakdown")
 		plangate = flag.Bool("plangate", false, "planner-vs-oracle gate: exit 1 when the planner's pick is more than -tol above the exhaustive sweep's best modeled critical path")
@@ -114,7 +118,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Format: fmtKnob, Verbose: *verbose}
+	sparseKnob, err := mpi.ParseSparseMode(*sparse)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Format: fmtKnob, SparseComm: sparseKnob, Verbose: *verbose}
 
 	var list []*experiments.Experiment
 	if *exp == "all" {

@@ -4,13 +4,15 @@ import (
 	"fmt"
 
 	"repro/internal/costmodel"
+	"repro/internal/mpi"
 	"repro/internal/planner"
 	"repro/internal/spmat"
 )
 
 // AutoTuneConfig consults the analytical planner and returns a copy of rc
 // rewritten to the best predicted configuration: the layer count, the
-// induced batch count, the storage format, and the schedule. The decision
+// induced batch count, the storage format, the schedule, and the
+// sparse-communication mode. The decision
 // is made under the run's own α–β constants with CommScale 1, which is
 // exactly what core-level callers are charged (the per-rank meters are
 // never machine-scaled at this layer); callers that scale reported
@@ -49,6 +51,11 @@ func AutoTuneOnMachine(a, b *spmat.CSC, rc RunConfig, m costmodel.Machine) (RunC
 		BytesPerNnz: opts.BytesPerNnz,
 		Symbolic:    opts.MemBytes > 0 || opts.RunSymbolic,
 		MaxBatches:  opts.MaxBatches,
+		// Sweep the sparse-communication knob too: off and the per-stage
+		// cost-model decision. SparseOn is omitted — auto's prediction is
+		// ≤ on's by construction (it takes subsets exactly where they win),
+		// so on can never be the optimum.
+		SparseComms: []mpi.SparseMode{mpi.SparseOff, mpi.SparseAuto},
 	})
 	if err != nil {
 		return rc, nil, err
@@ -67,5 +74,6 @@ func AutoTuneOnMachine(a, b *spmat.CSC, rc RunConfig, m costmodel.Machine) (RunC
 	}
 	rc.Opts.Format = best.Format
 	rc.Opts.Pipeline = best.Pipeline
+	rc.Opts.SparseComm = best.SparseComm
 	return rc, pl, nil
 }

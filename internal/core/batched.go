@@ -21,6 +21,7 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	g := p.G
 	res := &Result{RowOffset: p.DA.RowB[g.I]}
 	p.pipe = pipeState{}
+	p.resetSparseComm()
 
 	// Decide the batch count (Alg 4 line 2).
 	b := p.Opts.ForceBatches
@@ -50,6 +51,18 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	// agrees. Assert anyway: a divergent b would deadlock the collectives.
 	if agreed := g.World.AllreduceInt64(int64(b), mpi.OpMax); int(agreed) != b {
 		return nil, fmt.Errorf("core: ranks disagree on batch count (%d vs %d)", b, agreed)
+	}
+
+	// Arm the sparse A-broadcast path. The symbolic pass recorded every
+	// stage's column subset as a byproduct of its B broadcasts; when it was
+	// skipped, one Allgather along the process column fills them instead.
+	// Activation is collective: every rank shares Opts.SparseComm and
+	// runSymbolic, so they flip together.
+	if p.sc.supports != nil {
+		if !runSymbolic {
+			p.gatherSupports()
+		}
+		p.sc.active = true
 	}
 
 	// Column batching of this rank's block column (Alg 4 line 4, Fig 1(i)).

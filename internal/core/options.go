@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/localmm"
+	"repro/internal/mpi"
 	"repro/internal/semiring"
 	"repro/internal/spmat"
 )
@@ -127,6 +128,18 @@ type Options struct {
 	// overridden — the knob means "decide everything for me". The decision
 	// is deterministic.
 	AutoTune bool
+	// SparseComm selects the column-subset A-broadcast path
+	// (mpi.IbcastColsStart): each receiver learns, from the row support of
+	// the B blocks it saw in the symbolic pass (or from one Allgather along
+	// the process column when the symbolic pass is skipped), which columns
+	// of every broadcast A block its multiplies can touch, and the stage
+	// broadcasts ship those subsets point-to-point when the α–β model says
+	// they beat the full tree broadcast. Output values are bit-identical in
+	// every mode — the subsets are a communication-volume change only. The
+	// zero value (mpi.SparseOff) meters byte-for-byte like releases without
+	// the knob; mpi.SparseAuto lets every stage decide; mpi.SparseOn forces
+	// the subset exchange (differential testing).
+	SparseComm mpi.SparseMode
 	// IncrementalMerge folds each SUMMA stage's product into a running
 	// accumulator instead of keeping all stage outputs and merging once
 	// after the last stage. The paper deliberately merges once (Sec. III-A:

@@ -30,6 +30,10 @@ type Proc struct {
 	// pipe is the cross-batch pipeline state (overlap ledger plus the
 	// prefetched next-batch broadcasts), reset by every BatchedSUMMA3D.
 	pipe pipeState
+
+	// sc is the column-subset A-broadcast state (Opts.SparseComm), reset by
+	// every BatchedSUMMA3D alongside pipe.
+	sc sparseComm
 }
 
 // Setup distributes the global operands onto the grid: each rank extracts

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// sparseComm holds one rank's state for the column-subset A-broadcast path
+// (Options.SparseComm). The key observation: at SUMMA stage s the local
+// multiply reads column c of the broadcast Ã(i,s,k) only when row c of this
+// rank's B̃(s,j,k) is occupied, and B's row slices align with A's column
+// slices by construction (distmat: ADist.ColSliceOf mirrors BDist.RowSliceOf).
+// So the row support of the B block a rank receives at stage s — a byproduct
+// of the symbolic pass, which broadcasts exactly those blocks — is the column
+// subset of every A block the rank will ever need at that stage, for every
+// batch (batching splits B's columns, never its rows, so the support can only
+// shrink per batch; using the full block's support is a sound over-cover).
+type sparseComm struct {
+	// active enables the subset path in postStageBcasts. It is switched on
+	// only after every stage's support is recorded, so the symbolic pass
+	// itself always uses the plain full-block broadcasts.
+	active bool
+	// force ships subsets even when the cost model prefers the full
+	// broadcast (Options.SparseComm == mpi.SparseOn).
+	force bool
+	// stage is the stage whose broadcast is being posted — the mutable input
+	// of fn, so one hoisted closure serves every post allocation-free.
+	stage int
+	// supports[s] is the sorted local column subset of the stage-s A block
+	// this rank's multiplies can touch (nil until recorded).
+	supports [][]int32
+	// bytes[s] memoizes the subset's wire size (-1 until computed): the A
+	// block a stage broadcasts is the root's LocalA every batch, so the size
+	// is batch-invariant.
+	bytes []int64
+	// fn is the subsetBytes callback handed to mpi.IbcastColsStart.
+	fn func(full mpi.Payload) int64
+}
+
+// resetSparseComm re-arms the subset state for one BatchedSUMMA3D. With the
+// knob off — or on a 1×1 layer grid, where the row broadcast moves nothing —
+// the state stays inert and postStageBcasts keeps the historical IbcastStart
+// path, byte-for-byte.
+func (p *Proc) resetSparseComm() {
+	p.sc = sparseComm{}
+	if p.Opts.SparseComm == mpi.SparseOff || p.G.Q <= 1 {
+		return
+	}
+	p.sc.force = p.Opts.SparseComm == mpi.SparseOn
+	p.sc.supports = make([][]int32, p.G.Q)
+	p.sc.bytes = make([]int64, p.G.Q)
+	for s := range p.sc.bytes {
+		p.sc.bytes[s] = -1
+	}
+	sc := &p.sc
+	sc.fn = func(full mpi.Payload) int64 {
+		if n := sc.bytes[sc.stage]; n >= 0 {
+			return n
+		}
+		var n int64
+		if full != nil {
+			n = spmat.SubsetWireBytes(full.(spmat.Matrix), sc.supports[sc.stage])
+		}
+		sc.bytes[sc.stage] = n
+		return n
+	}
+}
+
+// recordSupport captures the stage-s column subset from the B block the
+// symbolic pass just received. Free bookkeeping: the symbolic broadcasts
+// deliver exactly the blocks whose row support is needed.
+func (p *Proc) recordSupport(s int, bRecv spmat.Matrix) {
+	if p.sc.supports == nil || p.sc.supports[s] != nil {
+		return
+	}
+	p.sc.supports[s] = spmat.RowSupport(bRecv)
+}
+
+// supportMsg is the Allgather payload of the symbolic-free fallback: one
+// rank's local B row support, 4 wire bytes per index.
+type supportMsg []int32
+
+// CommBytes returns the wire size of the support list.
+func (m supportMsg) CommBytes() int64 { return 4 * int64(len(m)) }
+
+// gatherSupports is the fallback when the symbolic pass is skipped
+// (ForceBatches without RunSymbolic): one Allgather of the local B row
+// supports along the process column yields every stage's subset — the
+// column communicator is ordered by row coordinate i, so gathered[s] is the
+// support of B̃(s,j,k). The exchange is charged to A-Broadcast: it is the
+// price of setting up the sparse A path.
+func (p *Proc) gatherSupports() {
+	g := p.G
+	g.World.Meter().SetCategory(StepABcast)
+	gathered := g.Col.Allgather(supportMsg(spmat.RowSupport(p.LocalB)))
+	for s := 0; s < g.Q; s++ {
+		p.sc.supports[s] = gathered[s].(supportMsg)
+	}
+}

@@ -24,6 +24,13 @@ type stageBcasts struct {
 // is the column root (the batch piece for SUMMA, the full local B for the
 // symbolic pass). Payloads keep their in-memory format: the simulated wire
 // size (CommBytes) depends only on occupancy, never on the format knob.
+//
+// With the sparse path armed (Options.SparseComm, activated by
+// BatchedSUMMA3D once every stage's column subset is known) the A-broadcast
+// goes through mpi.IbcastColsStart: each receiver declares the wire size of
+// the A columns its stage-s multiplies can touch and the row communicator
+// ships point-to-point subsets whenever they model cheaper than the tree
+// broadcast (always, under mpi.SparseOn).
 func (p *Proc) postStageBcasts(s int, bOperand spmat.Matrix) stageBcasts {
 	g := p.G
 	var aMsg mpi.Payload
@@ -34,8 +41,15 @@ func (p *Proc) postStageBcasts(s int, bOperand spmat.Matrix) stageBcasts {
 	if g.I == s {
 		bMsg = bOperand
 	}
+	var aReq *mpi.BcastRequest
+	if p.sc.active {
+		p.sc.stage = s
+		aReq = g.Row.IbcastColsStart(s, aMsg, p.sc.fn, p.sc.force)
+	} else {
+		aReq = g.Row.IbcastStart(s, aMsg)
+	}
 	return stageBcasts{
-		a:    g.Row.IbcastStart(s, aMsg),
+		a:    aReq,
 		b:    g.Col.IbcastStart(s, bMsg),
 		post: p.pipe.ledger.clock,
 	}

@@ -50,6 +50,9 @@ func (p *Proc) Symbolic3D() (b int, maxNNZC int64, err error) {
 		if pipe && s+1 < stages {
 			next = p.postStageBcasts(s+1, p.LocalB)
 		}
+		// The stage-s B block is exactly the one whose row support is the
+		// sparse A path's stage-s column subset; capture it for free.
+		p.recordSupport(s, bRecv)
 
 		symFlops := localmm.MatFlops(aRecv, bRecv)
 		symSec := p.measure(func() {

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"hypersparse", "pipeline", "planner",
+		"hypersparse", "pipeline", "planner", "sparsecomm",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -41,14 +41,17 @@ func TestListOrdered(t *testing.T) {
 		t.Errorf("first is %s", ids[0].ID)
 	}
 	last := ids[len(ids)-1]
-	if last.ID != "planner" {
+	if last.ID != "sparsecomm" {
 		t.Errorf("last is %s", last.ID)
 	}
-	if ids[len(ids)-2].ID != "pipeline" {
+	if ids[len(ids)-2].ID != "planner" {
 		t.Errorf("second to last is %s", ids[len(ids)-2].ID)
 	}
-	if ids[len(ids)-3].ID != "hypersparse" {
+	if ids[len(ids)-3].ID != "pipeline" {
 		t.Errorf("third to last is %s", ids[len(ids)-3].ID)
+	}
+	if ids[len(ids)-4].ID != "hypersparse" {
+		t.Errorf("fourth to last is %s", ids[len(ids)-4].ID)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/mpi"
 	"repro/internal/planner"
 	"repro/internal/spmat"
 )
@@ -37,6 +38,7 @@ type gateShape struct {
 	symbolic bool
 	pipeline bool
 	format   spmat.Format
+	sparse   mpi.SparseMode
 }
 
 // gateShapes are the pinned fig-6/fig-8 shapes the nightly gate runs, plus
@@ -56,6 +58,7 @@ var gateShapes = []gateShape{
 	{name: "fig6-friendster-overlapped", wl: WLFriendster, p: 64, l: 16, b: 4, symbolic: true, pipeline: true, format: spmat.FormatCSC},
 	{name: "hyper-kmers-csc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatCSC},
 	{name: "hyper-kmers-dcsc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC},
+	{name: "hyper-kmers-sparse-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC, sparse: mpi.SparseAuto},
 }
 
 // GateResult is one shape's outcome.
@@ -67,6 +70,9 @@ type GateResult struct {
 	B        int    `json:"b"`
 	Pipeline bool   `json:"pipeline"`
 	Format   string `json:"format"`
+	// SparseComm is the column-subset A-broadcast mode ("off" unless the
+	// shape opts in).
+	SparseComm string `json:"sparse_comm"`
 	// Gated marks shapes whose ModelSeconds are compared against the
 	// baseline; overlapped shapes are informational (their exposed share
 	// depends on measured compute).
@@ -115,7 +121,7 @@ func RunGate() (*GateReport, error) {
 			return nil, err
 		}
 		a, b := PairFor(wl)
-		opts := core.Options{RunSymbolic: sh.symbolic, Pipeline: sh.pipeline, Format: sh.format}
+		opts := core.Options{RunSymbolic: sh.symbolic, Pipeline: sh.pipeline, Format: sh.format, SparseComm: sh.sparse}
 		rr := runMul(a, b, sh.p, sh.l, machine, 0, sh.b, opts)
 		if rr.Err != nil {
 			return nil, fmt.Errorf("gate shape %s: %w", sh.name, rr.Err)
@@ -135,6 +141,7 @@ func RunGate() (*GateReport, error) {
 			B:                 sh.b,
 			Pipeline:          sh.pipeline,
 			Format:            sh.format.String(),
+			SparseComm:        sh.sparse.String(),
 			Gated:             !sh.pipeline,
 			CommSeconds:       comm,
 			WorkUnits:         work,
@@ -179,6 +186,15 @@ func CompareGate(cur, base *GateReport, tol float64) []string {
 		if dcsc.WorkUnits > csc.WorkUnits {
 			bad = append(bad, fmt.Sprintf("hyper-kmers: DCSC work units %d exceed CSC's %d — the O(cols) column-scan savings inverted",
 				dcsc.WorkUnits, csc.WorkUnits))
+		}
+	}
+	// Cross-shape invariant: the column-subset path must never move more
+	// bytes than its full-broadcast twin on the hypersparse shape (it is
+	// gated by the same α–β model that prices the volume).
+	if full, sp := cur.Shape("hyper-kmers-dcsc-staged"), cur.Shape("hyper-kmers-sparse-staged"); full != nil && sp != nil {
+		if sp.Bytes > full.Bytes {
+			bad = append(bad, fmt.Sprintf("hyper-kmers: sparse-comm bytes %d exceed full-broadcast bytes %d — the subset decision inverted",
+				sp.Bytes, full.Bytes))
 		}
 	}
 	return bad

@@ -30,6 +30,9 @@ func (o RunOpts) coreOpts(c core.Options) core.Options {
 	if c.Format == spmat.FormatAuto {
 		c.Format = o.Format
 	}
+	if c.SparseComm == mpi.SparseOff {
+		c.SparseComm = o.SparseComm
+	}
 	return c
 }
 

@@ -8,13 +8,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/grid"
+	"repro/internal/mpi"
 	"repro/internal/planner"
 	"repro/internal/spmat"
 )
 
 // This file scores the analytical planner against ground truth: an
-// exhaustive oracle sweep over l × b × format × pipeline on the perf-gate
-// workloads, under the same deterministic objective the CI gate uses
+// exhaustive oracle sweep over l × b × format × pipeline × sparse-comm on
+// the perf-gate workloads, under the same deterministic objective the CI
+// gate uses
 // (per-step max-over-ranks α–β communication plus total work units at the
 // pinned rate). Pipelined points are scored by applying the shared
 // overlap-ledger model (planner.Overlap) to the staged run's deterministic
@@ -64,8 +66,9 @@ type stepPair struct {
 	Work int64
 }
 
-// planOracle exhaustively sweeps l × b × format with real staged runs and
-// derives each point's pipelined twin through the shared overlap model.
+// planOracle exhaustively sweeps l × b × format × sparse-comm with real
+// staged runs and derives each point's pipelined twin through the shared
+// overlap model.
 // Feasibility under mem comes from the real symbolic decision per
 // (l, format), and that decision's own b joins the sweep — the smallest
 // feasible batch count is also the best feasible one (batches only add
@@ -100,29 +103,32 @@ func planOracle(a, b *spmat.CSC, p int, machine costmodel.Machine, mem int64, bS
 				sort.Ints(localBSet)
 			}
 			for _, bv := range localBSet {
-				rr := runMul(a, b, p, l, machine, 0, bv, core.Options{RunSymbolic: true, Format: f})
-				if rr.Err != nil {
-					return nil, fmt.Errorf("oracle l=%d b=%d %v: %w", l, bv, f, rr.Err)
+				for _, sm := range []mpi.SparseMode{mpi.SparseOff, mpi.SparseAuto} {
+					rr := runMul(a, b, p, l, machine, 0, bv,
+						core.Options{RunSymbolic: true, Format: f, SparseComm: sm})
+					if rr.Err != nil {
+						return nil, fmt.Errorf("oracle l=%d b=%d %v %v: %w", l, bv, f, sm, rr.Err)
+					}
+					steps := make(map[string]stepPair, len(core.Steps))
+					var work int64
+					var comm float64
+					for _, step := range core.Steps {
+						st := rr.Summary.Step(step)
+						steps[step] = stepPair{Comm: st.CommSeconds, Work: st.WorkUnits}
+						work += st.WorkUnits
+						comm += st.CommSeconds
+					}
+					feasible := feasibleAtAll && bv >= minB
+					staged := oracleEntry{
+						Cfg:          planner.Config{L: l, B: bv, Format: f, SparseComm: sm},
+						CommSeconds:  comm,
+						WorkUnits:    work,
+						ModelSeconds: comm + float64(work)*GateSecPerWorkUnit,
+						Feasible:     feasible,
+						Steps:        steps,
+					}
+					out = append(out, staged, pipelinedEntry(staged, p, q, allreduce))
 				}
-				steps := make(map[string]stepPair, len(core.Steps))
-				var work int64
-				var comm float64
-				for _, step := range core.Steps {
-					st := rr.Summary.Step(step)
-					steps[step] = stepPair{Comm: st.CommSeconds, Work: st.WorkUnits}
-					work += st.WorkUnits
-					comm += st.CommSeconds
-				}
-				feasible := feasibleAtAll && bv >= minB
-				staged := oracleEntry{
-					Cfg:          planner.Config{L: l, B: bv, Format: f},
-					CommSeconds:  comm,
-					WorkUnits:    work,
-					ModelSeconds: comm + float64(work)*GateSecPerWorkUnit,
-					Feasible:     feasible,
-					Steps:        steps,
-				}
-				out = append(out, staged, pipelinedEntry(staged, p, q, allreduce))
 			}
 		}
 	}
@@ -216,11 +222,12 @@ func planShapeInputs(sh planShape, sc Scale) (a, b *spmat.CSC, machine costmodel
 // work-unit rate so planner scores and oracle scores share the objective.
 func planFor(a, b *spmat.CSC, p int, machine costmodel.Machine, mem int64) (*planner.Plan, error) {
 	return planner.New(a, b, planner.Input{
-		P:          p,
-		MemBytes:   mem,
-		Machine:    machine,
-		Symbolic:   true,
-		SecPerWork: GateSecPerWorkUnit,
+		P:           p,
+		MemBytes:    mem,
+		Machine:     machine,
+		Symbolic:    true,
+		SecPerWork:  GateSecPerWorkUnit,
+		SparseComms: []mpi.SparseMode{mpi.SparseOff, mpi.SparseAuto},
 	})
 }
 
@@ -292,9 +299,10 @@ func init() {
 		ID:    "planner",
 		Title: "analytical autotuner vs exhaustive oracle sweep",
 		Description: "Scores the planner's analytically chosen configuration (layers, batches, " +
-			"format, pipeline) against an exhaustive l × b × format × pipeline sweep on the " +
-			"perf-gate workloads, under the gate's deterministic modeled objective. Also shows " +
-			"the pick's predicted per-step breakdown next to the measured one.",
+			"format, pipeline, sparse-comm) against an exhaustive " +
+			"l × b × format × pipeline × sparse-comm sweep on the perf-gate workloads, under " +
+			"the gate's deterministic modeled objective. Also shows the pick's predicted " +
+			"per-step breakdown next to the measured one.",
 		Run: runPlannerExperiment,
 	})
 }
@@ -416,7 +424,7 @@ func RunAutotune(opts RunOpts, w io.Writer) error {
 
 		fmt.Fprintf(w, "\nrunning the chosen configuration (%s)…\n", pick.Config)
 		rr := runMul(a, b, sh.p, pick.L, machine, 0, pick.B,
-			core.Options{RunSymbolic: true, Format: pick.Format, Pipeline: pick.Pipeline})
+			core.Options{RunSymbolic: true, Format: pick.Format, Pipeline: pick.Pipeline, SparseComm: pick.SparseComm})
 		if rr.Err != nil {
 			return fmt.Errorf("%s: %w", sh.name, rr.Err)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/genmat"
+	"repro/internal/mpi"
 	"repro/internal/spmat"
 )
 
@@ -56,6 +57,10 @@ type RunOpts struct {
 	// the default; output values and communication volume are identical
 	// for all three.
 	Format spmat.Format
+	// SparseComm selects the column-subset A-broadcast path
+	// (core.Options.SparseComm): off, auto, or on. Off — the zero value —
+	// keeps the published figure shapes byte-identical.
+	SparseComm mpi.SparseMode
 	// Verbose experiments may add extra tables.
 	Verbose bool
 }

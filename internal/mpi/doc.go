@@ -34,6 +34,28 @@
 // intervening compute into a separate "hidden" category. A post immediately
 // followed by Wait meters identically to the blocking collective.
 //
+// IbcastColsStart is the sparse form of the broadcast: receivers declare the
+// wire size of the column subset they will actually read, and the collective
+// switches — consistently across the communicator — between point-to-point
+// subset sends and the full tree broadcast, whichever models cheaper.
+//
+// A request that is posted but never completed silently drops its modeled
+// cost from the meters; Run audits a per-rank pending counter (shared across
+// Split-derived communicators) after the ranks stop and panics on a
+// forgotten Wait.
+//
+// # Buffer pool ownership
+//
+// Each Comm handle carries a per-rank free pool (request structs, AllToAllv
+// receive slices, wire byte buffers from GetBuf) so steady-state send loops
+// allocate nothing. The rules: pooled objects are owned by exactly one
+// rank's goroutine and never shared; a request pointer dies the moment its
+// Wait/WaitOverlap returns (the struct is recycled — do not retain it); a
+// receive slice or GetBuf buffer belongs to the caller until it is returned
+// with PutRecv/PutBuf, and returning it is optional — dropping it merely
+// costs an allocation on the next call. Payload contents are never pooled:
+// they remain shared read-only objects owned by the sender.
+//
 // All collectives (posts included) are bulk-synchronous and must be called
 // by every rank of a communicator in the same order.
 package mpi

@@ -17,8 +17,12 @@ import "fmt"
 
 // AllToAllvRequest is an in-flight non-blocking personalized exchange posted
 // with IalltoallvStart. Exactly one of Wait or WaitOverlap must be called, by
-// the same rank goroutine that posted it.
+// the same rank goroutine that posted it; the pointer is recycled into the
+// communicator's pool when the wait returns and must not be retained after
+// that. (The receive slice handed back by the wait is the caller's — return
+// it with PutRecv to keep a steady-state loop allocation-free.)
 type AllToAllvRequest struct {
+	c     *Comm
 	meter *Meter
 	recv  []Payload
 	bytes int64
@@ -42,7 +46,7 @@ func (c *Comm) IalltoallvStart(send []Payload) *AllToAllvRequest {
 		c.core.matrix[base+dst] = m
 	}
 	c.Barrier()
-	recv := make([]Payload, c.size)
+	recv := c.getRecv()
 	for src := 0; src < c.size; src++ {
 		v := c.core.matrix[src*c.size+c.rank]
 		if v != nil {
@@ -56,12 +60,16 @@ func (c *Comm) IalltoallvStart(send []Payload) *AllToAllvRequest {
 			sent += m.CommBytes()
 		}
 	}
-	return &AllToAllvRequest{
+	r := c.getA2AReq()
+	*r = AllToAllvRequest{
+		c:     c,
 		meter: c.meter,
 		recv:  recv,
 		bytes: sent,
 		cost:  c.cost.AllToAllCost(c.size, sent),
 	}
+	c.addPending()
+	return r
 }
 
 // Wait completes the request: the full modeled cost and the payload bytes are
@@ -85,5 +93,10 @@ func (r *AllToAllvRequest) WaitOverlap(credit float64, hiddenCat string) ([]Payl
 	}
 	r.done = true
 	used := completeOverlap(r.meter, r.bytes, r.cost, credit, hiddenCat)
-	return r.recv, used
+	recv := r.recv
+	if r.c != nil {
+		r.c.completePending()
+		r.c.putA2AReq(r)
+	}
+	return recv, used
 }

@@ -18,15 +18,23 @@ package mpi
 // section.
 
 // BcastRequest is an in-flight non-blocking broadcast posted with
-// IbcastStart. Exactly one of Wait or WaitOverlap must be called, by the
-// same rank goroutine that posted it.
+// IbcastStart or IbcastColsStart. Exactly one of Wait or WaitOverlap must be
+// called, by the same rank goroutine that posted it; the pointer is recycled
+// into the communicator's pool when the wait returns and must not be
+// retained after that.
 type BcastRequest struct {
+	c       *Comm
 	meter   *Meter
 	payload Payload
 	bytes   int64
 	cost    float64
+	subset  bool
 	done    bool
 }
+
+// Subset reports whether the broadcast shipped column subsets instead of the
+// full payload (always false for IbcastStart; see IbcastColsStart).
+func (r *BcastRequest) Subset() bool { return r.subset }
 
 // IbcastStart posts a broadcast of root's payload without charging the
 // meter. All ranks of the communicator must post collectively and in the
@@ -47,12 +55,97 @@ func (c *Comm) IbcastStart(root int, msg Payload) *BcastRequest {
 	if out != nil {
 		n = out.CommBytes()
 	}
-	return &BcastRequest{
+	r := c.getBcastReq()
+	*r = BcastRequest{
+		c:       c,
 		meter:   c.meter,
 		payload: out,
 		bytes:   n,
 		cost:    c.cost.BcastCost(c.size, n),
 	}
+	c.addPending()
+	return r
+}
+
+// IbcastColsStart posts the sparse variant of IbcastStart: every receiver
+// declares, through subsetBytes, the wire size of the column subset of the
+// payload its local computation actually touches, and the collective decides
+// — consistently on every rank — whether shipping the subsets point-to-point
+// beats the tree broadcast of the full block.
+//
+// subsetBytes is called (away from the root) with the staged full payload, so
+// a receiver can size its subset against the sender's real column occupancy;
+// it corresponds to the root evaluating the receiver's pre-exchanged column
+// list, which the caller obtained from its symbolic pass. The sizes are
+// shared through an extra barrier pair so root and receivers agree on the
+// decision and on the totals.
+//
+// When the subsets win (or force is set), the root is charged like a
+// personalized send of the summed subset bytes — α·(size−1) + β·Σ — and each
+// receiver like one point-to-point receive of its own subset, α + β·bytes.
+// Otherwise the request is charged exactly like IbcastStart, byte-for-byte,
+// so a caller that gates the feature off meters identically to the plain
+// path. As with IbcastStart, nothing is charged until Wait/WaitOverlap, and
+// the payload every rank gets back is the shared full-block reference —
+// receivers read only the columns they declared, which is what makes the
+// subset exchange a pure metering (and, on a real network, volume) change.
+func (c *Comm) IbcastColsStart(root int, msg Payload, subsetBytes func(full Payload) int64, force bool) *BcastRequest {
+	if root < 0 || root >= c.size {
+		panic("mpi: IbcastColsStart root out of range")
+	}
+	if c.rank == root {
+		c.core.slots[root] = msg
+	}
+	c.Barrier()
+	out, _ := c.core.slots[root].(Payload)
+	var nFull int64
+	if out != nil {
+		nFull = out.CommBytes()
+	}
+	mine := nFull
+	if c.rank != root && subsetBytes != nil {
+		mine = subsetBytes(out)
+	}
+	c.core.i64buf[c.rank] = mine
+	c.Barrier()
+	var sum, maxRecv int64
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			continue
+		}
+		n := c.core.i64buf[r]
+		sum += n
+		if n > maxRecv {
+			maxRecv = n
+		}
+	}
+	c.Barrier()
+
+	fullCost := c.cost.BcastCost(c.size, nFull)
+	rootCost := c.cost.AllToAllCost(c.size, sum)
+	recvCost := c.cost.AlphaSec + c.cost.BetaSecPerByte*float64(maxRecv)
+	subset := c.size > 1 && (force || maxf(rootCost, recvCost) < fullCost)
+
+	r := c.getBcastReq()
+	*r = BcastRequest{c: c, meter: c.meter, payload: out, subset: subset}
+	switch {
+	case !subset:
+		r.bytes, r.cost = nFull, fullCost
+	case c.rank == root:
+		r.bytes, r.cost = sum, rootCost
+	default:
+		r.bytes = mine
+		r.cost = c.cost.AlphaSec + c.cost.BetaSecPerByte*float64(mine)
+	}
+	c.addPending()
+	return r
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Wait completes the request: the full modeled cost and the payload bytes
@@ -80,7 +173,12 @@ func (r *BcastRequest) WaitOverlap(credit float64, hiddenCat string) (Payload, f
 	}
 	r.done = true
 	used := completeOverlap(r.meter, r.bytes, r.cost, credit, hiddenCat)
-	return r.payload, used
+	p := r.payload
+	if r.c != nil {
+		r.c.completePending()
+		r.c.putBcastReq(r)
+	}
+	return p, used
 }
 
 // completeOverlap is the shared wait-time charge of the split collectives

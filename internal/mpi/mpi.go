@@ -165,6 +165,14 @@ type Comm struct {
 	// child-core map never collide. All ranks call Split in the same order,
 	// so their counters agree.
 	splitGen uint64
+	// pending counts this rank's posted-but-uncompleted split-collective
+	// requests. It is shared with every communicator derived via Split (a
+	// request leaked on a child drops modeled cost from the same meter) and
+	// audited by Run after the ranks stop.
+	pending *int64
+	// pool recycles request structs, receive slices, and wire buffers; one
+	// per Comm handle, touched only by the owning rank's goroutine.
+	pool *commPool
 }
 
 // Rank returns this rank's id within the communicator (0-based).
@@ -326,7 +334,10 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	c.core.childMu.Unlock()
 	c.Barrier() // staging area reusable afterwards
-	return &Comm{rank: myIdx, size: len(members), core: core, cost: c.cost, meter: c.meter}
+	return &Comm{
+		rank: myIdx, size: len(members), core: core, cost: c.cost, meter: c.meter,
+		pending: c.pending, pool: &commPool{},
+	}
 }
 
 // Run executes fn on p ranks of a fresh world communicator sharing the given
@@ -339,6 +350,7 @@ func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
 	core := newCommCore(p)
 	meters := make([]*Meter, p)
 	errs := make([]any, p)
+	pendings := make([]int64, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		meters[r] = NewMeter()
@@ -351,7 +363,10 @@ func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
 					core.bar.fail()
 				}
 			}()
-			fn(&Comm{rank: r, size: p, core: core, cost: cm, meter: meters[r]})
+			fn(&Comm{
+				rank: r, size: p, core: core, cost: cm, meter: meters[r],
+				pending: &pendings[r], pool: &commPool{},
+			})
 		}(r)
 	}
 	wg.Wait()
@@ -363,6 +378,15 @@ func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
 	for _, e := range errs {
 		if e != nil {
 			panic(e)
+		}
+	}
+	// No rank failed: audit the split-collective requests. A request posted
+	// but never completed silently dropped its modeled cost from the meters,
+	// which is a bug in the caller's schedule — fail loudly instead of
+	// returning quietly wrong numbers.
+	for r := range pendings {
+		if pendings[r] != 0 {
+			panic(fmt.Sprintf("mpi: rank %d leaked %d uncompleted request(s): a posted Ibcast/Ialltoallv was never Waited", r, pendings[r]))
 		}
 	}
 	return meters

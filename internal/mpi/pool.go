@@ -1,0 +1,133 @@
+package mpi
+
+// commPool is the per-communicator, per-rank free pool behind the split
+// collectives: completed request structs, AllToAllv receive slices, and wire
+// byte buffers are recycled here so a steady-state communication loop — the
+// batched SUMMA schedule posts and completes the same collectives once per
+// stage per batch — performs zero heap allocations per send once warm.
+//
+// Ownership rules (see also doc.go): a pool belongs to exactly one rank's
+// Comm handle and is only touched from that rank's goroutine, so no locking
+// is needed. Objects handed out by the pool belong to the caller until they
+// are explicitly returned (PutBuf, PutRecv) or implicitly returned by
+// completing a request (Wait/WaitOverlap recycle the request struct itself —
+// a request pointer is dead the moment its Wait returns and must not be
+// retained).
+type commPool struct {
+	bcast []*BcastRequest
+	a2a   []*AllToAllvRequest
+	recv  [][]Payload
+	bufs  [][]byte
+}
+
+// poolCap bounds each free list so a one-off burst of concurrent requests
+// does not pin memory forever.
+const poolCap = 16
+
+func (c *Comm) getBcastReq() *BcastRequest {
+	if p := c.pool; p != nil {
+		if n := len(p.bcast); n > 0 {
+			r := p.bcast[n-1]
+			p.bcast = p.bcast[:n-1]
+			*r = BcastRequest{}
+			return r
+		}
+	}
+	return &BcastRequest{}
+}
+
+func (c *Comm) putBcastReq(r *BcastRequest) {
+	if p := c.pool; p != nil && len(p.bcast) < poolCap {
+		p.bcast = append(p.bcast, r)
+	}
+}
+
+func (c *Comm) getA2AReq() *AllToAllvRequest {
+	if p := c.pool; p != nil {
+		if n := len(p.a2a); n > 0 {
+			r := p.a2a[n-1]
+			p.a2a = p.a2a[:n-1]
+			*r = AllToAllvRequest{}
+			return r
+		}
+	}
+	return &AllToAllvRequest{}
+}
+
+func (c *Comm) putA2AReq(r *AllToAllvRequest) {
+	if p := c.pool; p != nil && len(p.a2a) < poolCap {
+		p.a2a = append(p.a2a, r)
+	}
+}
+
+func (c *Comm) getRecv() []Payload {
+	if p := c.pool; p != nil {
+		if n := len(p.recv); n > 0 {
+			s := p.recv[n-1]
+			p.recv = p.recv[:n-1]
+			if cap(s) >= c.size {
+				s = s[:c.size]
+				for i := range s {
+					s[i] = nil
+				}
+				return s
+			}
+		}
+	}
+	return make([]Payload, c.size)
+}
+
+// PutRecv returns a receive slice obtained from an AllToAllv(-Start) on this
+// communicator to the pool. Optional: callers that keep the slice simply let
+// it go to the garbage collector; callers in a steady-state loop return it
+// after consuming the payloads to make the next exchange allocation-free.
+// The payload references themselves are shared objects and are not affected.
+func (c *Comm) PutRecv(s []Payload) {
+	if p := c.pool; p != nil && s != nil && len(p.recv) < poolCap {
+		for i := range s {
+			s[i] = nil
+		}
+		p.recv = append(p.recv, s)
+	}
+}
+
+// GetBuf returns a byte buffer with capacity for at least n bytes, reusing a
+// pooled one when a large enough buffer is available. The buffer has length n
+// and is NOT zeroed; it belongs to the caller until PutBuf.
+func (c *Comm) GetBuf(n int64) []byte {
+	if p := c.pool; p != nil {
+		for i := len(p.bufs) - 1; i >= 0; i-- {
+			if int64(cap(p.bufs[i])) >= n {
+				b := p.bufs[i]
+				p.bufs[i] = p.bufs[len(p.bufs)-1]
+				p.bufs = p.bufs[:len(p.bufs)-1]
+				return b[:n]
+			}
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func (c *Comm) PutBuf(b []byte) {
+	if p := c.pool; p != nil && b != nil && len(p.bufs) < poolCap {
+		p.bufs = append(p.bufs, b)
+	}
+}
+
+// addPending records a posted split-collective request; completePending
+// retires it. The counter is shared by every communicator a rank derives via
+// Split, and Run audits it after the ranks stop: a request that was posted
+// but never completed silently drops its modeled cost from the meters, so a
+// forgotten Wait is a metering bug, not a leak to shrug at.
+func (c *Comm) addPending() {
+	if c.pending != nil {
+		*c.pending++
+	}
+}
+
+func (c *Comm) completePending() {
+	if c.pending != nil {
+		*c.pending--
+	}
+}

@@ -1,0 +1,49 @@
+package mpi
+
+import "fmt"
+
+// SparseMode selects how A-blocks travel in the SUMMA stages: as full-block
+// tree broadcasts (off), as point-to-point column subsets whenever the cost
+// model says they win (auto), or as subsets unconditionally (on). The zero
+// value is SparseOff so that configurations which never mention the knob
+// keep the historical full-broadcast wire format bit-for-bit.
+type SparseMode int
+
+// Sparse communication modes.
+const (
+	// SparseOff ships full blocks; metering is byte-identical to releases
+	// that predate the column-subset path.
+	SparseOff SparseMode = iota
+	// SparseAuto lets each row-communicator stage pick subsets or the full
+	// broadcast, whichever the α–β model prices cheaper.
+	SparseAuto
+	// SparseOn forces the subset exchange on every stage (diagnostics and
+	// differential tests; auto is the production setting).
+	SparseOn
+)
+
+// String returns the knob spelling: off, auto, or on.
+func (m SparseMode) String() string {
+	switch m {
+	case SparseOff:
+		return "off"
+	case SparseAuto:
+		return "auto"
+	case SparseOn:
+		return "on"
+	}
+	return fmt.Sprintf("SparseMode(%d)", int(m))
+}
+
+// ParseSparseMode parses the command-line spelling of a SparseMode.
+func ParseSparseMode(s string) (SparseMode, error) {
+	switch s {
+	case "off", "":
+		return SparseOff, nil
+	case "auto":
+		return SparseAuto, nil
+	case "on":
+		return SparseOn, nil
+	}
+	return SparseOff, fmt.Errorf("mpi: unknown sparse-comm mode %q (want off, auto, or on)", s)
+}

@@ -57,6 +57,9 @@ type Input struct {
 	// Pipelines restricts the schedule dimension (nil = staged and
 	// pipelined).
 	Pipelines []bool
+	// SparseComms restricts the sparse-communication dimension (nil = off
+	// only, so pre-knob plans and their rankings are unchanged).
+	SparseComms []mpi.SparseMode
 }
 
 func (in Input) withDefaults() Input {
@@ -78,6 +81,9 @@ func (in Input) withDefaults() Input {
 	if len(in.Pipelines) == 0 {
 		in.Pipelines = []bool{false, true}
 	}
+	if len(in.SparseComms) == 0 {
+		in.SparseComms = []mpi.SparseMode{mpi.SparseOff}
+	}
 	return in
 }
 
@@ -93,6 +99,9 @@ type Plan struct {
 
 	qOf   map[int]int
 	stats map[int]*gridStat
+	// a, b are retained for the lazily-computed sparse-comm statistics
+	// (computeSubsetStat) — only candidates with SparseComm != off need them.
+	a, b *spmat.CSC
 }
 
 // LayersFor returns every layer count l for which p ranks form a grid with
@@ -127,7 +136,7 @@ func New(a, b *spmat.CSC, in Input) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl := &Plan{In: in, Probe: pr, qOf: make(map[int]int), stats: make(map[int]*gridStat)}
+	pl := &Plan{In: in, Probe: pr, qOf: make(map[int]int), stats: make(map[int]*gridStat), a: a, b: b}
 	for _, l := range layers {
 		q, err := grid.SideFor(in.P, l)
 		if err != nil {
@@ -137,12 +146,14 @@ func New(a, b *spmat.CSC, in Input) (*Plan, error) {
 		gs := computeGridStat(a, b, q, l)
 		pl.stats[l] = gs
 		for _, f := range in.Formats {
-			staged := pl.predict(gs, f, 0)
-			for _, pipe := range in.Pipelines {
-				if !pipe {
-					pl.Candidates = append(pl.Candidates, staged)
-				} else if staged.Feasible {
-					pl.Candidates = append(pl.Candidates, pl.applyOverlap(staged))
+			for _, sm := range in.SparseComms {
+				staged := pl.predict(gs, f, 0, sm)
+				for _, pipe := range in.Pipelines {
+					if !pipe {
+						pl.Candidates = append(pl.Candidates, staged)
+					} else if staged.Feasible {
+						pl.Candidates = append(pl.Candidates, pl.applyOverlap(staged))
+					}
 				}
 			}
 		}
@@ -163,6 +174,9 @@ func New(a, b *spmat.CSC, in Input) (*Plan, error) {
 		}
 		if cx.Format != cy.Format {
 			return cx.Format < cy.Format
+		}
+		if cx.SparseComm != cy.SparseComm {
+			return cx.SparseComm < cy.SparseComm
 		}
 		return !cx.Pipeline && cy.Pipeline
 	})
@@ -196,7 +210,7 @@ func (pl *Plan) Evaluate(cfg Config) (Candidate, error) {
 	if !ok {
 		return Candidate{}, fmt.Errorf("planner: layer count %d was not enumerated", cfg.L)
 	}
-	c := pl.predict(gs, cfg.Format, cfg.B)
+	c := pl.predict(gs, cfg.Format, cfg.B, cfg.SparseComm)
 	if cfg.Pipeline {
 		c = pl.applyOverlap(c)
 	}

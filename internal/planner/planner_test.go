@@ -150,6 +150,73 @@ func TestPredictorsAgainstMeters(t *testing.T) {
 	}
 }
 
+// TestSparsePredictorAgainstMeters: the sparse-comm A-Broadcast prediction
+// replays the runtime's per-stage subset decision from exact occupancy
+// statistics, so it must match the meters byte-exactly — in auto and forced
+// mode, with the symbolic pass supplying the supports and with the fallback
+// Allgather doing it.
+func TestSparsePredictorAgainstMeters(t *testing.T) {
+	machine := testMachine()
+	type shape struct {
+		name     string
+		mat      *spmat.CSC
+		p, l, b  int
+		format   spmat.Format
+		mode     mpi.SparseMode
+		symbolic bool
+	}
+	shapes := []shape{
+		{"kmers-auto-symbolic", kmersTiny(), 64, 16, 2, spmat.FormatDCSC, mpi.SparseAuto, true},
+		{"kmers-on-symbolic", kmersTiny(), 64, 16, 2, spmat.FormatDCSC, mpi.SparseOn, true},
+		{"kmers-on-allgather", kmersTiny(), 64, 16, 2, spmat.FormatDCSC, mpi.SparseOn, false},
+		{"friendster-auto-symbolic", friendsterTiny(), 64, 4, 2, spmat.FormatCSC, mpi.SparseAuto, true},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			a, b := pairFor(sh.mat)
+			pl, err := planner.New(a, b, planner.Input{
+				P: sh.p, Machine: machine, Symbolic: sh.symbolic, Layers: []int{sh.l},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := pl.Evaluate(planner.Config{L: sh.l, B: sh.b, Format: sh.format, SparseComm: sh.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc := core.RunConfig{
+				P: sh.p, L: sh.l, Cost: machine.Cost(),
+				Opts: core.Options{
+					RunSymbolic: sh.symbolic, ForceBatches: sh.b,
+					Format: sh.format, SparseComm: sh.mode,
+				},
+			}
+			_, _, sum, err := core.Multiply(a, b, rc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pred.Step(planner.StepABcast).CommSeconds
+			want := sum.Step(planner.StepABcast).CommSeconds
+			if e := relErr(got, want); e > 1e-9 {
+				t.Errorf("sparse A-Broadcast predicted %.9g s, measured %.9g s (err %.3g)", got, want, e)
+			}
+			// The subset path must never predict above the full-block path
+			// in auto mode (the decision only fires when it wins).
+			if sh.mode == mpi.SparseAuto {
+				full, err := pl.Evaluate(planner.Config{L: sh.l, B: sh.b, Format: sh.format})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got > full.Step(planner.StepABcast).CommSeconds*(1+1e-12) {
+					t.Errorf("auto sparse A-Broadcast %.9g exceeds full-block %.9g",
+						got, full.Step(planner.StepABcast).CommSeconds)
+				}
+			}
+		})
+	}
+}
+
 // TestLayersFor pins the valid-grid enumeration.
 func TestLayersFor(t *testing.T) {
 	got := planner.LayersFor(64)

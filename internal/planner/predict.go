@@ -33,15 +33,24 @@ type Config struct {
 	Format spmat.Format
 	// Pipeline selects the fully-overlapped schedule.
 	Pipeline bool
+	// SparseComm selects the column-subset A-broadcast path; the zero value
+	// (off) models the historical full-block broadcasts.
+	SparseComm mpi.SparseMode
 }
 
-// String renders the config the way reports and flags spell it.
+// String renders the config the way reports and flags spell it. The
+// sparse-comm suffix appears only when the knob is set, so pre-knob spellings
+// are unchanged.
 func (c Config) String() string {
 	sched := "staged"
 	if c.Pipeline {
 		sched = "pipelined"
 	}
-	return "l=" + itoa(c.L) + " b=" + itoa(c.B) + " " + c.Format.String() + " " + sched
+	s := "l=" + itoa(c.L) + " b=" + itoa(c.B) + " " + c.Format.String() + " " + sched
+	if c.SparseComm != mpi.SparseOff {
+		s += " sparse=" + c.SparseComm.String()
+	}
+	return s
 }
 
 // StepCost is one step's predicted cost.
@@ -92,11 +101,11 @@ func (c *Candidate) Step(name string) StepCost {
 	return StepCost{}
 }
 
-// predict evaluates one (l, format) point of the space: it derives the
-// induced batch count (unless forceB pins one), predicts every step, and
+// predict evaluates one (l, format, sparse) point of the space: it derives
+// the induced batch count (unless forceB pins one), predicts every step, and
 // returns the staged candidate. Pipelined variants are derived from it with
 // applyOverlap.
-func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int) Candidate {
+func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int, sparse mpi.SparseMode) Candidate {
 	in, pr := pl.In, pl.Probe
 	q, l := gs.q, gs.l
 	p := in.P
@@ -142,7 +151,7 @@ func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int) Candidate
 	}
 
 	cand := Candidate{
-		Config:   Config{L: l, Format: format},
+		Config:   Config{L: l, Format: format, SparseComm: sparse},
 		Feasible: true,
 	}
 
@@ -277,8 +286,16 @@ func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int) Candidate
 	}
 
 	// A-Broadcast: each batch re-broadcasts every A block (the cost of
-	// batching), so the per-rank sum scales with b.
-	steps = append(steps, StepCost{Step: StepABcast, CommSeconds: cs * float64(b) * maxABcast})
+	// batching), so the per-rank sum scales with b. Under a sparse mode the
+	// per-rank charge is replicated exactly — per stage the same subset
+	// decision and root/receiver split mpi.IbcastColsStart applies, plus the
+	// fallback support Allgather when the symbolic pass is skipped — so the
+	// prediction stays byte-exact against the meters.
+	abcastComm := cs * float64(b) * maxABcast
+	if sparse != mpi.SparseOff && q > 1 {
+		abcastComm = cs * pl.sparseABcast(gs, cm, b, sparse == mpi.SparseOn, wireA)
+	}
+	steps = append(steps, StepCost{Step: StepABcast, CommSeconds: abcastComm})
 
 	// B-Broadcast: each stage moves one batch piece; over all batches every
 	// B entry travels exactly once, so b only changes the latency share.

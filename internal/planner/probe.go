@@ -288,6 +288,17 @@ type gridStat struct {
 	uQL, uL               float64
 	perSliceQL, perLayerL []float64
 	maxLayerQL, maxLayerL float64
+
+	// Sparse-comm statistics (Plan.subsetStat, computed lazily — only
+	// candidates with SparseComm != off pay for them): for A block (i, s, k)
+	// and receiver column j, aSubNE/aSubNNZ[blockIdx(i,s,k)·q + j] are the
+	// occupied-column count and entry count of the column subset receiver
+	// (i, j, k) declares at stage s — the rows of B̃(s,j,k) — and
+	// bRowSup[blockIdx(s,j,k)] is that support's size (the fallback
+	// Allgather's payload length).
+	subStatDone     bool
+	aSubNE, aSubNNZ []int64
+	bRowSup         []int64
 }
 
 // sliceModel fills the memoized probe-derived volumes.
@@ -310,6 +321,78 @@ func (gs *gridStat) sliceModel(pr *Probe) {
 		}
 	}
 	gs.sliceModelDone = true
+}
+
+// computeSubsetStat fills the sparse-comm statistics: exactly the quantities
+// the runtime's subset path derives at run time. Receiver (i, j, k)'s stage-s
+// column subset is the occupied-row set of B̃(s,j,k) — and because A's
+// column slices align with B's row slices (distmat mirrors the PartBounds
+// partitions), a global inner index r in that support touches global A
+// column r. One pass over A buckets per-column entry counts by row block;
+// one pass per receiver column j marks the touched inner indices and folds
+// them into per-(A block, receiver) occupancy.
+func computeSubsetStat(gs *gridStat, a, b *spmat.CSC) {
+	if gs.subStatDone {
+		return
+	}
+	q, l := gs.q, gs.l
+	gs.aSubNE = make([]int64, q*q*l*q)
+	gs.aSubNNZ = make([]int64, q*q*l*q)
+	gs.bRowSup = make([]int64, q*q*l)
+
+	// cnt[i·cols + c] = entries of A column c within row block i.
+	aRowB := spmat.PartBounds(a.Rows, q)
+	cols := int(a.Cols)
+	cnt := make([]int64, q*cols)
+	a.EnumCols(func(j int32, rows []int32, _ []float64) {
+		for _, r := range rows {
+			cnt[partIndex(aRowB, r)*cols+int(j)]++
+		}
+	})
+
+	// layerOf[r] = the layer slice of inner index r within its row block —
+	// a function of r alone, shared by every receiver.
+	bRowB := spmat.PartBounds(b.Rows, q)
+	layerOf := make([]int8, int(b.Rows))
+	for s := 0; s < q; s++ {
+		sb := spmat.PartBounds(bRowB[s+1]-bRowB[s], l)
+		for k := 0; k < l; k++ {
+			for r := bRowB[s] + sb[k]; r < bRowB[s]+sb[k+1]; r++ {
+				layerOf[r] = int8(k)
+			}
+		}
+	}
+
+	bColB := spmat.PartBounds(b.Cols, q)
+	touched := make([]bool, int(b.Rows))
+	for j := 0; j < q; j++ {
+		for i := range touched {
+			touched[i] = false
+		}
+		for c := bColB[j]; c < bColB[j+1]; c++ {
+			rows, _ := b.Column(c)
+			for _, r := range rows {
+				touched[r] = true
+			}
+		}
+		for s := 0; s < q; s++ {
+			for r := int(bRowB[s]); r < int(bRowB[s+1]); r++ {
+				if !touched[r] {
+					continue
+				}
+				k := int(layerOf[r])
+				gs.bRowSup[gs.blockIdx(s, j, k)]++
+				for i := 0; i < q; i++ {
+					if n := cnt[i*cols+r]; n > 0 {
+						idx := gs.blockIdx(i, s, k)*q + j
+						gs.aSubNE[idx]++
+						gs.aSubNNZ[idx] += n
+					}
+				}
+			}
+		}
+	}
+	gs.subStatDone = true
 }
 
 // blockIdx flattens (x, y, k) on a q×q×l grid.

@@ -88,6 +88,14 @@ func (m *CSC) NonEmptyCols() int64 {
 	return n
 }
 
+// InvalidateNonEmptyCols drops the memoized non-empty-column count. Every
+// in-place mutation that can change column occupancy after the count was
+// first computed (Filter does, and any future mutator must) has to call this,
+// or CommBytes/AutoFormat will keep using the stale count and the wire
+// metering under/over-charges. Validate cross-checks the memo so a missed
+// invalidation fails loudly in tests instead of silently mis-metering.
+func (m *CSC) InvalidateNonEmptyCols() { atomic.StoreInt64(&m.neCache, 0) }
+
 // NNZ returns the number of stored entries.
 func (m *CSC) NNZ() int64 {
 	if len(m.ColPtr) == 0 {
@@ -133,6 +141,17 @@ func (m *CSC) Validate() error {
 	nnz := m.ColPtr[m.Cols]
 	if int64(len(m.RowIdx)) != nnz || int64(len(m.Val)) != nnz {
 		return fmt.Errorf("spmat: nnz %d disagrees with slices (%d rows, %d vals)", nnz, len(m.RowIdx), len(m.Val))
+	}
+	if c := atomic.LoadInt64(&m.neCache); c > 0 {
+		var n int64
+		for j := int32(0); j < m.Cols; j++ {
+			if m.ColPtr[j+1] > m.ColPtr[j] {
+				n++
+			}
+		}
+		if c-1 != n {
+			return fmt.Errorf("spmat: stale NonEmptyCols memo %d, actual %d (missing InvalidateNonEmptyCols after mutation?)", c-1, n)
+		}
 	}
 	for j := int32(0); j < m.Cols; j++ {
 		if m.ColPtr[j] > m.ColPtr[j+1] {

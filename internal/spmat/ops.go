@@ -1,9 +1,6 @@
 package spmat
 
-import (
-	"fmt"
-	"sync/atomic"
-)
+import "fmt"
 
 // Transpose returns the transpose of m using a counting sort over rows. The
 // result always has sorted columns, regardless of the input ordering, which
@@ -288,7 +285,7 @@ func (m *CSC) Filter(keep func(row, col int32, v float64) bool) {
 	m.ColPtr = newPtr
 	m.RowIdx = m.RowIdx[:w]
 	m.Val = m.Val[:w]
-	atomic.StoreInt64(&m.neCache, 0) // filtering can empty columns
+	m.InvalidateNonEmptyCols() // filtering can empty columns
 }
 
 // DropZeros removes entries whose stored value is exactly zero.

@@ -43,12 +43,15 @@ func (m *CSC) hypersparseWire() (bool, int64) {
 	return Hypersparse(ne, m.Cols), ne
 }
 
-// wireBytes is the shared size formula for both encodings.
+// wireBytes is the shared size formula for both encodings. The dense term
+// widens cols to int64 *before* adding one: cols+1 in int32 wraps negative at
+// cols == math.MaxInt32 and used to corrupt the size of the largest legal
+// blocks.
 func wireBytes(hyper bool, cols int32, ne, nnz int64) int64 {
 	if hyper {
 		return serialHeader + 4 + 8*ne + 12*nnz
 	}
-	return serialHeader + 8*int64(cols+1) + 12*nnz
+	return serialHeader + 8*(int64(cols)+1) + 12*nnz
 }
 
 // WireBytesFor returns the wire size of a block with cols columns, ne of
@@ -185,11 +188,61 @@ func DeserializeMatrix(buf []byte) (Matrix, error) {
 	return DeserializeFormat(buf, FormatAuto)
 }
 
+// Arena owns the backing arrays for in-place wire decoding. A decode through
+// DeserializeMatrixInto reuses the arena's capacity from the previous decode,
+// so a steady-state loop that keeps receiving blocks of similar size performs
+// zero heap allocations once the arena has warmed up. The arena also embeds
+// the matrix headers themselves: the Matrix returned by a decode aliases the
+// arena and is valid only until the next decode into the same arena. An
+// arena is single-goroutine state; concurrent receivers each own one.
+type Arena struct {
+	i32a, i32b []int32
+	i64a       []int64
+	f64a       []float64
+	csc        CSC
+	dcsc       DCSC
+}
+
+func arenaI32(s *[]int32, n int64) []int32 {
+	if int64(cap(*s)) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func arenaI64(s *[]int64, n int64) []int64 {
+	if int64(cap(*s)) < n {
+		*s = make([]int64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func arenaF64(s *[]float64, n int64) []float64 {
+	if int64(cap(*s)) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// DeserializeMatrixInto decodes like DeserializeMatrix — following the wire's
+// own encoding flag — but draws every array from the caller-owned arena
+// instead of the heap. See Arena for the aliasing and reuse rules.
+func DeserializeMatrixInto(buf []byte, a *Arena) (Matrix, error) {
+	return deserializeArena(buf, FormatAuto, a)
+}
+
 // DeserializeFormat decodes a matrix from the wire format into the requested
 // in-memory format. FormatAuto follows the wire's encoding flag (the
 // zero-conversion path); forcing a format converts after decoding when the
 // wire encoding disagrees.
 func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
+	return deserializeArena(buf, f, nil)
+}
+
+func deserializeArena(buf []byte, f Format, a *Arena) (Matrix, error) {
 	if len(buf) < serialHeader {
 		return nil, fmt.Errorf("spmat: serialized matrix truncated (%d bytes)", len(buf))
 	}
@@ -203,6 +256,14 @@ func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
 	hyper := buf[16]&2 != 0
 	off := int64(serialHeader)
 
+	// Reject headers whose implied size cannot fit in the buffer before doing
+	// any size arithmetic with them: nnz and ne come straight off the wire,
+	// and 12*nnz (or 8*ne) on a hostile header would overflow int64 and could
+	// otherwise alias a small buffer's length.
+	if nnz > int64(len(buf))/12 {
+		return nil, fmt.Errorf("spmat: serialized nnz %d exceeds buffer capacity (%d bytes)", nnz, len(buf))
+	}
+
 	var out Matrix
 	if hyper {
 		if int64(len(buf)) < off+4 {
@@ -210,17 +271,34 @@ func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
 		}
 		ne := int64(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
+		if ne > int64(cols) || ne > int64(len(buf))/8 {
+			return nil, fmt.Errorf("spmat: hypersparse column count %d out of range (cols=%d, %d bytes)", ne, cols, len(buf))
+		}
 		want := off + 8*ne + 12*nnz
 		if int64(len(buf)) != want {
 			return nil, fmt.Errorf("spmat: serialized matrix has %d bytes, want %d", len(buf), want)
 		}
-		d := &DCSC{
-			Rows: rows, Cols: cols,
-			JC:         make([]int32, ne),
-			CP:         make([]int64, ne+1),
-			IR:         make([]int32, nnz),
-			Num:        make([]float64, nnz),
-			SortedCols: sorted,
+		var d *DCSC
+		if a != nil {
+			d = &a.dcsc
+			*d = DCSC{
+				Rows: rows, Cols: cols,
+				JC:         arenaI32(&a.i32a, ne),
+				CP:         arenaI64(&a.i64a, ne+1),
+				IR:         arenaI32(&a.i32b, nnz),
+				Num:        arenaF64(&a.f64a, nnz),
+				SortedCols: sorted,
+			}
+			d.CP[0] = 0 // arena memory is not zeroed
+		} else {
+			d = &DCSC{
+				Rows: rows, Cols: cols,
+				JC:         make([]int32, ne),
+				CP:         make([]int64, ne+1),
+				IR:         make([]int32, nnz),
+				Num:        make([]float64, nnz),
+				SortedCols: sorted,
+			}
 		}
 		prev := int32(-1)
 		for i := int64(0); i < ne; i++ {
@@ -243,19 +321,33 @@ func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
 		if d.CP[ne] != nnz {
 			return nil, fmt.Errorf("spmat: hypersparse counts sum to %d, want %d", d.CP[ne], nnz)
 		}
-		readEntries(buf, off, d.IR, d.Num)
+		if err := readEntries(buf, off, rows, d.IR, d.Num); err != nil {
+			return nil, err
+		}
 		out = d
 	} else {
-		want := off + 8*int64(cols+1) + 12*nnz
+		want := off + 8*(int64(cols)+1) + 12*nnz
 		if int64(len(buf)) != want {
 			return nil, fmt.Errorf("spmat: serialized matrix has %d bytes, want %d", len(buf), want)
 		}
-		m := &CSC{
-			Rows: rows, Cols: cols,
-			ColPtr:     make([]int64, cols+1),
-			RowIdx:     make([]int32, nnz),
-			Val:        make([]float64, nnz),
-			SortedCols: sorted,
+		var m *CSC
+		if a != nil {
+			m = &a.csc
+			*m = CSC{
+				Rows: rows, Cols: cols,
+				ColPtr:     arenaI64(&a.i64a, int64(cols)+1),
+				RowIdx:     arenaI32(&a.i32b, nnz),
+				Val:        arenaF64(&a.f64a, nnz),
+				SortedCols: sorted,
+			}
+		} else {
+			m = &CSC{
+				Rows: rows, Cols: cols,
+				ColPtr:     make([]int64, cols+1),
+				RowIdx:     make([]int32, nnz),
+				Val:        make([]float64, nnz),
+				SortedCols: sorted,
+			}
 		}
 		for i := range m.ColPtr {
 			m.ColPtr[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
@@ -272,7 +364,9 @@ func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
 		if m.ColPtr[cols] != nnz {
 			return nil, fmt.Errorf("spmat: serialized column pointers sum to %d, want %d", m.ColPtr[cols], nnz)
 		}
-		readEntries(buf, off, m.RowIdx, m.Val)
+		if err := readEntries(buf, off, rows, m.RowIdx, m.Val); err != nil {
+			return nil, err
+		}
 		out = m
 	}
 	if f == FormatAuto {
@@ -282,13 +376,21 @@ func DeserializeFormat(buf []byte, f Format) (Matrix, error) {
 }
 
 // readEntries decodes the row indices and values shared by both encodings.
-func readEntries(buf []byte, off int64, rowIdx []int32, vals []float64) {
+// Row-index validation is fused with the read: a hostile buffer carrying
+// indices outside [0, rows) must error here, not panic later when a kernel
+// scatters into an accumulator sized by rows.
+func readEntries(buf []byte, off int64, rows int32, rowIdx []int32, vals []float64) error {
 	for i := range rowIdx {
-		rowIdx[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		r := int32(binary.LittleEndian.Uint32(buf[off:]))
+		if r < 0 || r >= rows {
+			return fmt.Errorf("spmat: serialized row index %d out of range [0,%d)", r, rows)
+		}
+		rowIdx[i] = r
 		off += 4
 	}
 	for i := range vals {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 		off += 8
 	}
+	return nil
 }

@@ -93,6 +93,26 @@ const (
 // ParseFormat maps a CLI string (csc|dcsc|auto) to a Format.
 func ParseFormat(s string) (Format, error) { return spmat.ParseFormat(s) }
 
+// SparseMode selects how A-blocks travel in the SUMMA stages: full-block
+// tree broadcasts, point-to-point column subsets, or a per-stage cost-model
+// decision between the two. See Options.SparseComm.
+type SparseMode = mpi.SparseMode
+
+// Sparse communication modes for Options.SparseComm.
+const (
+	// SparseOff ships full blocks everywhere — the default, byte-identical
+	// to releases that predate the column-subset path.
+	SparseOff = mpi.SparseOff
+	// SparseAuto picks subsets or the full broadcast per stage, whichever
+	// the α–β model prices cheaper.
+	SparseAuto = mpi.SparseAuto
+	// SparseOn forces the subset exchange on every stage.
+	SparseOn = mpi.SparseOn
+)
+
+// ParseSparseMode maps a CLI string (off|auto|on) to a SparseMode.
+func ParseSparseMode(s string) (SparseMode, error) { return mpi.ParseSparseMode(s) }
+
 // Kernel selects the local multiply implementation.
 type Kernel = localmm.Kernel
 
@@ -240,6 +260,15 @@ type Options struct {
 	// footprints, so the symbolic step can choose fewer batches for
 	// hypersparse inputs under the same MemBytes.
 	Format Format
+	// SparseComm selects the column-subset A-broadcast path: each SUMMA
+	// stage's receivers get only the A-columns their local multiply touches
+	// (the nonzero rows of their B block), sent point-to-point, instead of
+	// the full block over the broadcast tree. SparseOff (default) keeps the
+	// full broadcast and reproduces the historical metering bit-for-bit;
+	// SparseAuto decides per stage from the α–β model; SparseOn forces
+	// subsets. Output values are bit-identical in all three modes — only
+	// modeled communication changes.
+	SparseComm SparseMode
 	// AutoTune hands every remaining knob to the analytical planner: the
 	// cluster's layer count, the batch count, Format, and Pipeline are
 	// replaced by the best configuration the cost model predicts for this
@@ -261,6 +290,7 @@ func (o Options) toCore() core.Options {
 		Threads:      o.Threads,
 		Pipeline:     o.Pipeline,
 		Format:       o.Format,
+		SparseComm:   o.SparseComm,
 		AutoTune:     o.AutoTune,
 	}
 }
