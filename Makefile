@@ -57,19 +57,22 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 	$(GO) tool cover -html=cover.out -o cover.html
 
-# fuzz: bounded fuzz passes over the two untrusted-input parsers — the
-# Matrix Market reader and the wire-format deserializer (seed corpora in
+# fuzz: bounded fuzz passes over the three untrusted-input parsers — the
+# Matrix Market reader, the sparse wire-format deserializer, and the dense
+# panel wire-format deserializer (seed corpora in
 # internal/spmat/testdata/fuzz plus in-code seeds for the historical
 # header-overflow and row-out-of-range bugs). The Go fuzzer takes one
-# -fuzz pattern per invocation, hence two lines. Override FUZZTIME for
-# longer local runs, e.g. `make fuzz FUZZTIME=5m`; the default 30s bound
-# per target is what `make ci` runs.
+# -fuzz pattern per invocation, hence one line per target. Override
+# FUZZTIME for longer local runs, e.g. `make fuzz FUZZTIME=5m`; the
+# default 30s bound per target is what `make ci` runs.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMatrixMarket -fuzztime=$(FUZZTIME) ./internal/spmat
 	$(GO) test -run='^$$' -fuzz=FuzzDeserializeMatrix -fuzztime=$(FUZZTIME) ./internal/spmat
+	$(GO) test -run='^$$' -fuzz=FuzzDeserializeDense -fuzztime=$(FUZZTIME) ./internal/spmat
 
 # perfgate: the performance-regression gate the nightly workflow enforces.
-# Runs pinned fig-6/8 shapes, emits BENCH_pr3.json, and fails when any gated
+# Runs pinned fig-6/8 and sparse×dense (spmm) shapes, emits BENCH_pr3.json,
+# and fails when any gated
 # shape's modeled critical-path seconds exceed the checked-in baseline
 # (BENCH_baseline.json) by more than GATE_TOL. The gated metrics are fully
 # modeled (α–β comm + work units at a pinned rate), so the comparison is
@@ -83,9 +86,11 @@ baseline:
 	$(GO) run ./cmd/spgemm-bench -gate -json BENCH_baseline.json
 
 # plan: the planner-vs-oracle gate the nightly workflow enforces. The
-# analytical autotuner plans each gate workload, an exhaustive
-# l × b × format × pipeline sweep establishes the true optimum under the
-# same deterministic modeled objective, and the target fails when any pick
+# analytical autotuner plans each gate workload, an exhaustive sweep
+# (l × b × format × pipeline for sparse×sparse; the algorithm axis —
+# SUMMA vs the 1.5D schedules over c × b — for the sparse×dense
+# tall-skinny shape) establishes the true optimum under the same
+# deterministic modeled objective, and the target fails when any pick
 # lands more than 10% above it.
 plan:
 	$(GO) run ./cmd/spgemm-bench -plangate -scale tiny

@@ -8,6 +8,7 @@
 //	datagen -kind kmer -reads 4096 -kmers 65536 -out reads.mtx
 //	datagen -kind er -n 10000 -ef 8 -out er.mtx
 //	datagen -kind hyper -reads 64 -kmers 4096 -out hyper.mtx  # ~2 nnz/column
+//	datagen -kind tallskinny -n 4096 -d 16 -out panel.mtx     # SpMM feature panel
 package main
 
 import (
@@ -21,9 +22,11 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "protein", "matrix kind: protein | rmat | er | kmer | hyper")
+		kind  = flag.String("kind", "protein", "matrix kind: protein | rmat | er | kmer | hyper | tallskinny")
 		scale = flag.Int("scale", 10, "log2 of the matrix side (protein, rmat)")
-		n     = flag.Int("n", 1024, "matrix side (er)")
+		n     = flag.Int("n", 1024, "matrix side (er) or rows (tallskinny)")
+		d     = flag.Int("d", 8, "panel width (tallskinny)")
+		fill  = flag.Float64("fill", 0.9, "fraction of panel entries present (tallskinny)")
 		ef    = flag.Int("ef", 8, "edge factor / average degree")
 		reads = flag.Int("reads", 1024, "rows of the kmer matrix")
 		kmers = flag.Int("kmers", 16384, "columns of the kmer matrix")
@@ -51,6 +54,10 @@ func main() {
 		// Hypersparse preset: reads×kmers shape with ~2 nnz per column
 		// (Rice-kmers-like), the regime the DCSC storage format targets.
 		m = genmat.Hypersparse(int32(*reads), int32(*kmers), 2, *seed)
+	case "tallskinny":
+		// Tall-skinny feature panel: the dense operand of the SpMM path,
+		// stored sparsely for interchange (densify with DenseFromCSC).
+		m = genmat.TallSkinny(int32(*n), int32(*d), *fill, *seed)
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}

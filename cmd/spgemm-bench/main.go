@@ -15,6 +15,8 @@
 //	spgemm-bench -exp hypersparse             # CSC-vs-DCSC storage ablation
 //	spgemm-bench -exp fig6 -sparsecomm auto   # column-subset A-broadcasts
 //	spgemm-bench -exp sparsecomm              # full-vs-subset broadcast ablation
+//	spgemm-bench -exp spmm                    # sparse×dense: SUMMA vs 1.5D
+//	spgemm-bench -exp spmm -algo cola -replication 2   # restrict the sweep
 //
 //	spgemm-bench -gate -json BENCH_pr3.json                            # emit the stats dump
 //	spgemm-bench -gate -json BENCH_pr3.json -baseline BENCH_baseline.json
@@ -36,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
@@ -51,6 +54,8 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "fully-overlapped schedule: prefetch stage broadcasts within and across batches and hide the fiber AllToAll behind Merge-Layer (off = the paper's staged schedule)")
 		format   = flag.String("format", "auto", "in-memory block storage: csc | dcsc | auto (auto compresses a block to DCSC when fewer than half its columns are occupied)")
 		sparse   = flag.String("sparsecomm", "off", "column-subset A-broadcast: off | auto | on (off reproduces the published figure shapes byte-identically; auto picks subsets per stage when the α–β model prices them cheaper)")
+		algo     = flag.String("algo", "", "restrict the spmm experiment's sparse×dense sweep to one algorithm family: summa | cola | innerabc (empty sweeps all three)")
+		replic   = flag.Int("replication", 0, "restrict the spmm experiment's 1.5D replication sweep to one factor c (c² must divide p; 0 sweeps every valid c)")
 		gate     = flag.Bool("gate", false, "run the deterministic perf-regression gate on pinned fig-6/8 shapes instead of an experiment")
 		autotune = flag.Bool("autotune", false, "plan the gate shapes with the analytical autotuner, print each ranked plan, run the chosen configuration, and show the predicted-vs-measured per-step breakdown")
 		plangate = flag.Bool("plangate", false, "planner-vs-oracle gate: exit 1 when the planner's pick is more than -tol above the exhaustive sweep's best modeled critical path")
@@ -122,7 +127,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Format: fmtKnob, SparseComm: sparseKnob, Verbose: *verbose}
+	if *algo != "" {
+		if _, err := core.ParseAlgo(*algo); err != nil {
+			fatal(err)
+		}
+	}
+	if *replic < 0 {
+		fatal(fmt.Errorf("-replication must be >= 0, got %d", *replic))
+	}
+	opts := experiments.RunOpts{Scale: sc, Machine: m, Threads: *threads, Pipeline: *pipeline, Format: fmtKnob, SparseComm: sparseKnob, Algo: *algo, Replication: *replic, Verbose: *verbose}
 
 	var list []*experiments.Experiment
 	if *exp == "all" {

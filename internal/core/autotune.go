@@ -77,3 +77,53 @@ func AutoTuneOnMachine(a, b *spmat.CSC, rc RunConfig, m costmodel.Machine) (RunC
 	rc.Opts.SparseComm = best.SparseComm
 	return rc, pl, nil
 }
+
+// AutoTuneDenseConfig consults the sparse×dense planner and returns a copy
+// of rc rewritten to the best predicted configuration of MultiplyDense's
+// space: the algorithm family (SUMMA vs the 1.5D schedules), the replication
+// factor, the batch count, and the schedule. Like AutoTuneConfig it decides
+// under the run's own α–β constants with CommScale 1.
+func AutoTuneDenseConfig(a *spmat.CSC, b *spmat.DenseMat, rc RunConfig) (RunConfig, *planner.DensePlan, error) {
+	return AutoTuneDenseOnMachine(a, b, rc, costmodel.Machine{
+		Name:           "run-config",
+		AlphaSec:       rc.Cost.AlphaSec,
+		BetaSecPerByte: rc.Cost.BetaSecPerByte,
+		ComputeScale:   1,
+		CommScale:      1,
+	})
+}
+
+// AutoTuneDenseOnMachine is AutoTuneDenseConfig deciding under a full machine
+// model, for callers (the spgemm facade) that scale reported communication by
+// the machine's CommScale.
+func AutoTuneDenseOnMachine(a *spmat.CSC, b *spmat.DenseMat, rc RunConfig, m costmodel.Machine) (RunConfig, *planner.DensePlan, error) {
+	opts := rc.Opts.withDefaults()
+	pl, err := planner.NewDense(a, b.Cols, planner.DenseInput{
+		P:           rc.P,
+		MemBytes:    opts.MemBytes,
+		Machine:     m,
+		BytesPerNnz: opts.BytesPerNnz,
+		MaxBatches:  opts.MaxBatches,
+	})
+	if err != nil {
+		return rc, nil, err
+	}
+	best := pl.Best()
+	if best == nil {
+		return rc, pl, fmt.Errorf("core: dense autotune found no feasible configuration under the %d-byte budget", opts.MemBytes)
+	}
+	algo, err := ParseAlgo(best.Algo)
+	if err != nil {
+		return rc, pl, err
+	}
+	rc.Opts.AutoTune = false
+	rc.Opts.Algo = algo
+	rc.Opts.Pipeline = best.Pipeline
+	rc.Opts.ForceBatches = best.B
+	if algo == AlgoSUMMA {
+		rc.L = best.L
+	} else {
+		rc.Opts.Replication = best.C
+	}
+	return rc, pl, nil
+}

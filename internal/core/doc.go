@@ -44,4 +44,20 @@
 // merge, and symbolic kernels (localmm's two-phase plan) inside the rank's
 // compute-measurement token, mirroring the paper's 16-threads-per-process
 // configuration.
+//
+// # Sparse×dense: the 1.5D schedules
+//
+// MultiplyDense runs C = A·B for a dense panel B under Options.Algo:
+// AlgoSUMMA densifies the panel's pattern and reuses the full sparse
+// pipeline above, while AlgoColA and AlgoInnerABC execute the 1.5D
+// schedules of Koanantakool et al. (IPDPS 2016) — the ranks form a ring of
+// s = p/c positions × c = Options.Replication layers (grid.Grid15), the
+// stationary operand is replicated across layers once, the moving operand
+// shifts R = s/c rounds, and dense partials reduce over the fiber in layer
+// order (deterministic, so outputs are bit-identical to localmm.SpMMSerial
+// on integer-valued operands). The schedules reuse the mpi collectives,
+// the paper's meter categories, and — pipelined — the same overlap ledger,
+// posting the next ring shift behind the current round's multiply.
+// AutoTuneDenseOnMachine spans the algorithm axis analytically through
+// planner.NewDense.
 package core

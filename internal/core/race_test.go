@@ -73,3 +73,36 @@ func TestPipelinedSUMMARace(t *testing.T) {
 		}
 	}
 }
+
+// TestDenseSchedulesWithThreadsRace runs the 1.5D ColA and InnerABC
+// schedules with multithreaded SpMM kernels and the pipelined shift overlap,
+// so `go test -race ./internal/core` exercises rank concurrency, the posted
+// IshiftStart exchanges, and intra-rank column-partition workers together.
+// Guarded by -short like the SUMMA race workout.
+func TestDenseSchedulesWithThreadsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race workout skipped in -short mode")
+	}
+	a := randomMat(t, 96, 96, 900, 51)
+	b := randomDense(t, 96, 16, 52)
+	want := localmm.SpMMSerial(a, b)
+	for _, algo := range []Algo{AlgoColA, AlgoInnerABC} {
+		for _, cfg := range []struct {
+			p, c, b, threads int
+			pipeline         bool
+		}{
+			{p: 4, c: 2, b: 1, threads: 4},
+			{p: 8, c: 2, b: 2, threads: 4, pipeline: true},
+			{p: 16, c: 4, b: 3, threads: 8, pipeline: true},
+		} {
+			got, _ := runDense(t, a, b, RunConfig{P: cfg.p, Cost: testCM, Opts: Options{
+				Algo: algo, Replication: cfg.c, ForceBatches: cfg.b,
+				Threads: cfg.threads, Pipeline: cfg.pipeline,
+			}})
+			if !spmat.DenseEqual(got, want) {
+				t.Errorf("%v p=%d c=%d b=%d threads=%d pipe=%v: differs from serial",
+					algo, cfg.p, cfg.c, cfg.b, cfg.threads, cfg.pipeline)
+			}
+		}
+	}
+}

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"hypersparse", "pipeline", "planner", "sparsecomm",
+		"hypersparse", "pipeline", "planner", "sparsecomm", "spmm",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -41,17 +41,20 @@ func TestListOrdered(t *testing.T) {
 		t.Errorf("first is %s", ids[0].ID)
 	}
 	last := ids[len(ids)-1]
-	if last.ID != "sparsecomm" {
+	if last.ID != "spmm" {
 		t.Errorf("last is %s", last.ID)
 	}
-	if ids[len(ids)-2].ID != "planner" {
+	if ids[len(ids)-2].ID != "sparsecomm" {
 		t.Errorf("second to last is %s", ids[len(ids)-2].ID)
 	}
-	if ids[len(ids)-3].ID != "pipeline" {
+	if ids[len(ids)-3].ID != "planner" {
 		t.Errorf("third to last is %s", ids[len(ids)-3].ID)
 	}
-	if ids[len(ids)-4].ID != "hypersparse" {
+	if ids[len(ids)-4].ID != "pipeline" {
 		t.Errorf("fourth to last is %s", ids[len(ids)-4].ID)
+	}
+	if ids[len(ids)-5].ID != "hypersparse" {
+		t.Errorf("fifth to last is %s", ids[len(ids)-5].ID)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/localmm"
 	"repro/internal/mpi"
 	"repro/internal/planner"
 	"repro/internal/spmat"
@@ -39,6 +40,11 @@ type gateShape struct {
 	pipeline bool
 	format   spmat.Format
 	sparse   mpi.SparseMode
+	// algo, c, d select the sparse×dense path: a non-empty algo runs
+	// MultiplyDense on the SpMMGraph workload with a d-wide feature panel
+	// and replication factor c instead of the sparse pipeline (wl ignored).
+	algo string
+	c, d int
 }
 
 // gateShapes are the pinned fig-6/fig-8 shapes the nightly gate runs, plus
@@ -59,6 +65,12 @@ var gateShapes = []gateShape{
 	{name: "hyper-kmers-csc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatCSC},
 	{name: "hyper-kmers-dcsc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC},
 	{name: "hyper-kmers-sparse-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC, sparse: mpi.SparseAuto},
+	// Sparse×dense shapes: the 1.5D schedules on the spmm workload (dense
+	// unweighted R-MAT · tall-skinny feature panel). The staged shapes are
+	// gated; the pipelined twin documents the dense overlap ablation.
+	{name: "spmm-cola-staged", wl: "rmat-dense", p: 16, b: 2, algo: "cola", c: 2, d: 8},
+	{name: "spmm-innerabc-staged", wl: "rmat-dense", p: 16, b: 2, algo: "innerabc", c: 2, d: 8},
+	{name: "spmm-cola-overlapped", wl: "rmat-dense", p: 16, b: 2, pipeline: true, algo: "cola", c: 2, d: 8},
 }
 
 // GateResult is one shape's outcome.
@@ -73,6 +85,12 @@ type GateResult struct {
 	// SparseComm is the column-subset A-broadcast mode ("off" unless the
 	// shape opts in).
 	SparseComm string `json:"sparse_comm"`
+	// Algo, C, and D describe the sparse×dense shapes: the algorithm family,
+	// the 1.5D replication factor, and the panel width (empty/zero for the
+	// sparse×sparse shapes).
+	Algo string `json:"algo,omitempty"`
+	C    int    `json:"c,omitempty"`
+	D    int    `json:"d,omitempty"`
 	// Gated marks shapes whose ModelSeconds are compared against the
 	// baseline; overlapped shapes are informational (their exposed share
 	// depends on measured compute).
@@ -116,23 +134,45 @@ func RunGate() (*GateReport, error) {
 	machine := costmodel.CoriKNL().ScaledBeta(commAmplification(ScaleTiny))
 	rep := &GateReport{SecPerWorkUnit: GateSecPerWorkUnit}
 	for _, sh := range gateShapes {
-		wl, err := Workload(sh.wl, ScaleTiny)
-		if err != nil {
-			return nil, err
-		}
-		a, b := PairFor(wl)
-		opts := core.Options{RunSymbolic: sh.symbolic, Pipeline: sh.pipeline, Format: sh.format, SparseComm: sh.sparse}
-		rr := runMul(a, b, sh.p, sh.l, machine, 0, sh.b, opts)
-		if rr.Err != nil {
-			return nil, fmt.Errorf("gate shape %s: %w", sh.name, rr.Err)
+		var summary *mpi.Summary
+		if sh.algo != "" {
+			algo, err := core.ParseAlgo(sh.algo)
+			if err != nil {
+				return nil, fmt.Errorf("gate shape %s: %w", sh.name, err)
+			}
+			a := SpMMGraph(ScaleTiny)
+			panel := PanelFor(a, int32(sh.d))
+			rr := runSpMM(a, panel, sh.p, 1, machine, algo, sh.c, sh.b, core.Options{Pipeline: sh.pipeline})
+			if rr.Err != nil {
+				return nil, fmt.Errorf("gate shape %s: %w", sh.name, rr.Err)
+			}
+			// The gate doubles as the bit-identity contract for the dense
+			// schedules: the workload is integer-valued precisely so the
+			// distributed output must equal the serial reference exactly.
+			if !spmat.DenseEqual(rr.Out, localmm.SpMMSerial(a, panel)) {
+				return nil, fmt.Errorf("gate shape %s: output differs from the serial SpMM reference", sh.name)
+			}
+			summary = rr.Summary
+		} else {
+			wl, err := Workload(sh.wl, ScaleTiny)
+			if err != nil {
+				return nil, err
+			}
+			a, b := PairFor(wl)
+			opts := core.Options{RunSymbolic: sh.symbolic, Pipeline: sh.pipeline, Format: sh.format, SparseComm: sh.sparse}
+			rr := runMul(a, b, sh.p, sh.l, machine, 0, sh.b, opts)
+			if rr.Err != nil {
+				return nil, fmt.Errorf("gate shape %s: %w", sh.name, rr.Err)
+			}
+			summary = rr.Summary
 		}
 		var work, bytes int64
 		for _, step := range core.Steps {
-			st := rr.Summary.Step(step)
+			st := summary.Step(step)
 			work += st.WorkUnits
 			bytes += st.Bytes
 		}
-		comm := commSeconds(rr.Summary)
+		comm := commSeconds(summary)
 		rep.Shapes = append(rep.Shapes, GateResult{
 			Name:              sh.name,
 			Workload:          sh.wl,
@@ -142,11 +182,14 @@ func RunGate() (*GateReport, error) {
 			Pipeline:          sh.pipeline,
 			Format:            sh.format.String(),
 			SparseComm:        sh.sparse.String(),
+			Algo:              sh.algo,
+			C:                 sh.c,
+			D:                 sh.d,
 			Gated:             !sh.pipeline,
 			CommSeconds:       comm,
 			WorkUnits:         work,
 			Bytes:             bytes,
-			HiddenCommSeconds: hiddenSeconds(rr.Summary),
+			HiddenCommSeconds: hiddenSeconds(summary),
 			ModelSeconds:      comm + float64(work)*GateSecPerWorkUnit,
 		})
 	}

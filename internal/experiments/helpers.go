@@ -81,6 +81,31 @@ func runMulDiscard(a, b *spmat.CSC, p, l int, machine costmodel.Machine, memByte
 	return runResult{P: p, L: l, B: results[0].Batches, Summary: summary, Results: results}
 }
 
+// spmmResult bundles what one distributed sparse×dense multiplication yields.
+type spmmResult struct {
+	Out     *spmat.DenseMat
+	Results []*core.DenseResult
+	Summary *mpi.Summary
+	Err     error
+}
+
+// runSpMM executes C = A·B for a dense panel B on p ranks under the machine
+// model: the 1.5D schedules with replication c, or SUMMA with l layers when
+// algo is core.AlgoSUMMA. Machine scaling is applied to the metered times as
+// in runMul.
+func runSpMM(a *spmat.CSC, b *spmat.DenseMat, p, l int, machine costmodel.Machine, algo core.Algo, c, forceB int, opts core.Options) spmmResult {
+	opts.Algo = algo
+	opts.Replication = c
+	opts.ForceBatches = forceB
+	rc := core.RunConfig{P: p, L: l, Cost: machine.Cost(), Opts: opts}
+	out, results, summary, err := core.MultiplyDense(a, b, rc)
+	if err != nil {
+		return spmmResult{Err: err}
+	}
+	applyMachine(summary, machine)
+	return spmmResult{Out: out, Results: results, Summary: summary}
+}
+
 // applyMachine scales a summary's times by the machine's compute and comm
 // factors (the per-rank meters were already consumed, so scale the summary).
 func applyMachine(s *mpi.Summary, m costmodel.Machine) {

@@ -15,7 +15,9 @@ import (
 
 // This file scores the analytical planner against ground truth: an
 // exhaustive oracle sweep over l × b × format × pipeline × sparse-comm on
-// the perf-gate workloads, under the same deterministic objective the CI
+// the perf-gate workloads — plus, for the sparse×dense shape, the algorithm
+// axis (densified SUMMA vs the 1.5D ColA/InnerABC schedules over every
+// replication factor) — under the same deterministic objective the CI
 // gate uses
 // (per-step max-over-ranks α–β communication plus total work units at the
 // pinned rate). Pipelined points are scored by applying the shared
@@ -43,6 +45,22 @@ var planShapes = []planShape{
 	{name: "fig6-friendster", wl: WLFriendster, p: 64, wantB: 4},
 	{name: "fig8-symbolic", wl: WLIsolatesSmall, p: 64, wantB: 1},
 	{name: "hyper-kmers", wl: WLRiceKmers, p: 64, wantB: 2},
+}
+
+// densePlanShapes extend the planner gate along the sparse×dense algorithm
+// axis: the spmm gate workload multiplied by a tall-skinny feature panel,
+// where the planner must choose the algorithm family (densified SUMMA vs the
+// 1.5D schedules) on top of its parameters. Staged-only on both sides — the
+// oracle scores real runs under the deterministic gate objective, which
+// pipelined schedules would make machine-dependent.
+type densePlanShape struct {
+	name string
+	p    int
+	d    int32
+}
+
+var densePlanShapes = []densePlanShape{
+	{name: "spmm-tallskinny", p: 16, d: 8},
 }
 
 // oracleEntry is one swept configuration's deterministic modeled outcome.
@@ -133,6 +151,94 @@ func planOracle(a, b *spmat.CSC, p int, machine costmodel.Machine, mem int64, bS
 		}
 	}
 	return out, nil
+}
+
+// denseOracleEntry is one swept sparse×dense configuration's outcome.
+type denseOracleEntry struct {
+	Cfg          planner.DenseConfig
+	CommSeconds  float64
+	WorkUnits    int64
+	ModelSeconds float64
+}
+
+// denseOracle exhaustively sweeps the sparse×dense configuration space with
+// real staged runs — SUMMA over l × b plus both 1.5D schedules over c × b —
+// scored under the gate objective. Every point is feasible (the dense shape
+// runs unconstrained, the b = 1 memory regime).
+func denseOracle(a *spmat.CSC, panel *spmat.DenseMat, p int, machine costmodel.Machine, bSet []int) ([]denseOracleEntry, error) {
+	type armPoint struct {
+		algo core.Algo
+		name string
+		l, c int
+	}
+	var points []armPoint
+	for _, l := range planner.LayersFor(p) {
+		points = append(points, armPoint{algo: core.AlgoSUMMA, name: planner.DenseAlgoSUMMA, l: l})
+	}
+	for _, c := range planner.ReplicationsFor(p) {
+		points = append(points,
+			armPoint{algo: core.AlgoColA, name: planner.DenseAlgoColA, l: 1, c: c},
+			armPoint{algo: core.AlgoInnerABC, name: planner.DenseAlgoInnerABC, l: 1, c: c})
+	}
+	var out []denseOracleEntry
+	for _, pt := range points {
+		for _, bv := range bSet {
+			rr := runSpMM(a, panel, p, pt.l, machine, pt.algo, pt.c, bv, core.Options{})
+			if rr.Err != nil {
+				return nil, fmt.Errorf("dense oracle %s l=%d c=%d b=%d: %w", pt.name, pt.l, pt.c, bv, rr.Err)
+			}
+			var work int64
+			var comm float64
+			for _, step := range core.Steps {
+				st := rr.Summary.Step(step)
+				work += st.WorkUnits
+				comm += st.CommSeconds
+			}
+			cfg := planner.DenseConfig{Algo: pt.name, B: bv}
+			if pt.algo == core.AlgoSUMMA {
+				cfg.L = pt.l
+			} else {
+				cfg.C = pt.c
+			}
+			out = append(out, denseOracleEntry{
+				Cfg:          cfg,
+				CommSeconds:  comm,
+				WorkUnits:    work,
+				ModelSeconds: comm + float64(work)*GateSecPerWorkUnit,
+			})
+		}
+	}
+	return out, nil
+}
+
+// denseOracleBest returns the lowest-scoring entry, or nil.
+func denseOracleBest(entries []denseOracleEntry) *denseOracleEntry {
+	var best *denseOracleEntry
+	for i := range entries {
+		if best == nil || entries[i].ModelSeconds < best.ModelSeconds {
+			best = &entries[i]
+		}
+	}
+	return best
+}
+
+// denseOracleFind returns the entry matching cfg, or nil.
+func denseOracleFind(entries []denseOracleEntry, cfg planner.DenseConfig) *denseOracleEntry {
+	for i := range entries {
+		if entries[i].Cfg == cfg {
+			return &entries[i]
+		}
+	}
+	return nil
+}
+
+// densePlanFor runs the sparse×dense planner on a prepared dense shape,
+// staged-only under the gate's pinned work-unit rate, mirroring planFor.
+func densePlanFor(a *spmat.CSC, d int32, p int, machine costmodel.Machine) (*planner.DensePlan, error) {
+	return planner.NewDense(a, d, planner.DenseInput{
+		P: p, Machine: machine, SecPerWork: GateSecPerWorkUnit,
+		Pipelines: []bool{false},
+	})
 }
 
 // containsInt reports whether xs contains v.
@@ -291,6 +397,35 @@ func PlanGate(sc Scale, tol float64) ([]string, error) {
 				100*(got.ModelSeconds/best.ModelSeconds-1), 100*tol))
 		}
 	}
+	for _, sh := range densePlanShapes {
+		a := SpMMGraph(sc)
+		panel := PanelFor(a, sh.d)
+		machine := costmodel.CoriKNL().ScaledBeta(commAmplification(sc))
+		pl, err := densePlanFor(a, sh.d, sh.p, machine)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.name, err)
+		}
+		pick := pl.Best()
+		if pick == nil {
+			bad = append(bad, fmt.Sprintf("%s: planner found no feasible configuration", sh.name))
+			continue
+		}
+		entries, err := denseOracle(a, panel, sh.p, machine, oracleBSet(pick.B))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.name, err)
+		}
+		best := denseOracleBest(entries)
+		got := denseOracleFind(entries, pick.DenseConfig)
+		if got == nil {
+			bad = append(bad, fmt.Sprintf("%s: pick %s not covered by the oracle sweep", sh.name, pick.DenseConfig))
+			continue
+		}
+		if limit := best.ModelSeconds * (1 + tol); got.ModelSeconds > limit {
+			bad = append(bad, fmt.Sprintf("%s: pick %s models %.6g s, oracle best %s models %.6g s — %.1f%% above (tolerance %.0f%%)",
+				sh.name, pick.DenseConfig, got.ModelSeconds, best.Cfg, best.ModelSeconds,
+				100*(got.ModelSeconds/best.ModelSeconds-1), 100*tol))
+		}
+	}
 	return bad, nil
 }
 
@@ -301,8 +436,9 @@ func init() {
 		Description: "Scores the planner's analytically chosen configuration (layers, batches, " +
 			"format, pipeline, sparse-comm) against an exhaustive " +
 			"l × b × format × pipeline × sparse-comm sweep on the perf-gate workloads, under " +
-			"the gate's deterministic modeled objective. Also shows the pick's predicted " +
-			"per-step breakdown next to the measured one.",
+			"the gate's deterministic modeled objective. The sparse×dense tall-skinny shape " +
+			"adds the algorithm axis: SUMMA vs the 1.5D schedules across replication factors. " +
+			"Also shows the pick's predicted per-step breakdown next to the measured one.",
 		Run: runPlannerExperiment,
 	})
 }
@@ -388,6 +524,50 @@ func runPlannerExperiment(opts RunOpts) (*Report, error) {
 
 		r.Finding("%s: planner pick %s is %.2f%% above the oracle best %s on the modeled critical path",
 			sh.name, pick.Config, gap, best.Cfg)
+	}
+
+	// The sparse×dense shape: the pick must also choose the algorithm family.
+	for _, sh := range densePlanShapes {
+		a := SpMMGraph(opts.Scale)
+		panel := PanelFor(a, sh.d)
+		machine := costmodel.CoriKNL().ScaledBeta(commAmplification(opts.Scale))
+		pl, err := densePlanFor(a, sh.d, sh.p, machine)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.name, err)
+		}
+		pick := pl.Best()
+		if pick == nil {
+			return nil, fmt.Errorf("%s: planner found no feasible configuration", sh.name)
+		}
+		entries, err := denseOracle(a, panel, sh.p, machine, oracleBSet(pick.B))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.name, err)
+		}
+		best := denseOracleBest(entries)
+		got := denseOracleFind(entries, pick.DenseConfig)
+		if best == nil || got == nil {
+			return nil, fmt.Errorf("%s: oracle sweep cannot score the pick", sh.name)
+		}
+		sorted := append([]denseOracleEntry(nil), entries...)
+		sort.Slice(sorted, func(x, y int) bool { return sorted[x].ModelSeconds < sorted[y].ModelSeconds })
+		tb := r.NewTable(fmt.Sprintf("%s (p=%d, d=%d): oracle top 5 vs planner pick", sh.name, sh.p, sh.d),
+			"rank", "config", "model s", "comm s", "work units", "planner pick")
+		show := len(sorted)
+		if show > 5 {
+			show = 5
+		}
+		for i := 0; i < show; i++ {
+			e := sorted[i]
+			mark := ""
+			if e.Cfg == pick.DenseConfig {
+				mark = "◀ pick"
+			}
+			tb.AddRow(fmt.Sprintf("%d", i+1), e.Cfg.String(), fmtS(e.ModelSeconds),
+				fmtS(e.CommSeconds), fmt.Sprintf("%d", e.WorkUnits), mark)
+		}
+		gap := 100 * (got.ModelSeconds/best.ModelSeconds - 1)
+		r.Finding("%s: planner pick %s is %.2f%% above the oracle best %s across the full algorithm axis (%d configurations swept)",
+			sh.name, pick.DenseConfig, gap, best.Cfg, len(entries))
 	}
 	return r, nil
 }

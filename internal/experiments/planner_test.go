@@ -21,9 +21,11 @@ func TestPlannerStepNamesMatchCore(t *testing.T) {
 }
 
 // TestPlannerWithinOracle is the planner-vs-oracle property test: on every
-// planner-gate shape (the fig-6/fig-8 and hyper-kmers gate workloads), the
-// planner's top pick must be feasible and within PlanGateTolerance of the
-// exhaustive l × b × format × pipeline sweep's best modeled critical path.
+// planner-gate shape (the fig-6/fig-8 and hyper-kmers gate workloads, plus
+// the sparse×dense tall-skinny shape whose sweep spans the algorithm axis —
+// SUMMA vs the 1.5D schedules over every replication factor), the planner's
+// top pick must be feasible and within PlanGateTolerance of the exhaustive
+// sweep's best modeled critical path.
 func TestPlannerWithinOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("oracle sweep is slow in -short mode")

@@ -61,6 +61,12 @@ type RunOpts struct {
 	// (core.Options.SparseComm): off, auto, or on. Off — the zero value —
 	// keeps the published figure shapes byte-identical.
 	SparseComm mpi.SparseMode
+	// Algo restricts the spmm experiment's algorithm sweep to one family
+	// ("summa" | "cola" | "innerabc"; empty sweeps all three).
+	Algo string
+	// Replication restricts the spmm experiment's 1.5D replication sweep to
+	// one factor (0 sweeps every c with c² | p).
+	Replication int
 	// Verbose experiments may add extra tables.
 	Verbose bool
 }

@@ -213,6 +213,30 @@ func Hypersparse(rows, cols int32, nnzPerCol int, seed int64) *spmat.CSC {
 	return m
 }
 
+// TallSkinny generates a rows×cols feature panel with rows ≫ cols — the
+// dense operand of the sparse×dense (SpMM) path, stored sparsely for
+// MatrixMarket interchange and densified with spmat.DenseFromCSC on load.
+// Entries are small positive integers (1..9) so distributed products over it
+// are exact in float64 and bit-identity is assertable; fill is the fraction
+// of entries present (a fill of 1 is a fully dense panel).
+func TallSkinny(rows, cols int32, fill float64, seed int64) *spmat.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]spmat.Triple, 0, int(float64(rows)*float64(cols)*fill))
+	for i := int32(0); i < rows; i++ {
+		for j := int32(0); j < cols; j++ {
+			if rng.Float64() >= fill {
+				continue
+			}
+			ts = append(ts, spmat.Triple{Row: i, Col: j, Val: float64(rng.Intn(9) + 1)})
+		}
+	}
+	m, err := spmat.FromTriples(rows, cols, ts, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // KroneckerPower returns the k-th Kronecker power of the seed matrix —
 // the deterministic scale-free generator of the Graph500 family (R-MAT is
 // its randomized counterpart). A 2×2 seed yields a 2^k-vertex graph.

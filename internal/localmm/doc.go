@@ -56,4 +56,17 @@
 // kernels for every format combination, thread count, and merger, because
 // columns are visited in the same order and entries accumulate in the same
 // operand order.
+//
+// # Sparse×dense kernels
+//
+// SpMM multiplies a sparse operand by a row-major dense panel
+// (spmat.DenseMat) — the local kernel of the 1.5D ColA/InnerABC schedules —
+// with SpMMInto folding each ring round's shifted block into a caller-owned
+// resident accumulator and SpMMSerial as the differential reference
+// distributed runs must match bit for bit on integer-valued operands. The
+// threaded form splits the panel's columns evenly across workers (each
+// dense column costs exactly nnz(A) flops), so values are identical for
+// every thread count. SDDMM, the sampled dense-dense counterpart
+// (C = S ∘ U·Vᵀ), covers the GNN-backprop companion operation, and
+// SpMMFlops supplies the work-unit accounting the meters and planner share.
 package localmm

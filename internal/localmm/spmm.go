@@ -1,0 +1,140 @@
+package localmm
+
+import (
+	"fmt"
+
+	"repro/internal/spmat"
+)
+
+// This file holds the local sparse×dense kernels of the SpMM engine: SpMM
+// (C = A·B with A sparse and B a row-major dense panel) and SDDMM (sampled
+// dense-dense, C = S ∘ (U·Vᵀ)). Both follow the two-phase plan of the SpGEMM
+// kernels — sizes are exact before any value is written, the output is
+// allocated once, and flop-balanced workers fill disjoint ranges in place —
+// but the symbolic phase is trivial: a dense output's shape *is* its size,
+// and an SDDMM output's pattern is its sampling matrix's.
+//
+// SpMM is format-generic over the A operand through spmat.Matrix: stored
+// columns are visited in ascending order whatever the storage, so CSC and
+// DCSC blocks produce bit-identical values. Workers partition the *dense*
+// column dimension — every dense column costs exactly nnz(A) multiplies, so
+// an even split is a perfect flop balance, and each worker owns a disjoint
+// stripe of every output row (no locks, no post-hoc merge).
+//
+// The dense kernels assume the plus-times ring: a dense accumulator starts
+// at 0, which is only the additive identity there. The distributed dense
+// schedules reject other semirings before they reach this layer.
+
+// SpMMFlops returns the multiply count of A·B with a dCols-wide dense B:
+// every stored entry of A touches one dense row of that width.
+func SpMMFlops(a spmat.Matrix, dCols int32) int64 { return a.NNZ() * int64(dCols) }
+
+// checkSpMMShapes panics on inner-dimension mismatch.
+func checkSpMMShapes(a spmat.Matrix, b *spmat.DenseMat) {
+	_, ac := a.Dims()
+	if ac != b.Rows {
+		panic(fmt.Sprintf("localmm: SpMM inner dimension mismatch: A is %v, B is %v", a, b))
+	}
+}
+
+// SpMM computes the dense product C = A·B with threads worker goroutines and
+// returns a freshly allocated C.
+func SpMM(a spmat.Matrix, b *spmat.DenseMat, threads int) *spmat.DenseMat {
+	rows, _ := a.Dims()
+	c := spmat.NewDense(rows, b.Cols)
+	SpMMInto(c, a, b, threads)
+	return c
+}
+
+// SpMMInto accumulates A·B into c (which must be aRows×bCols). The 1.5D
+// schedules call it once per ring round, folding each shifted operand block
+// into the same resident accumulator. Entries accumulate in ascending stored
+// A-column order, then entry order within a column — identical for every
+// thread count and storage format.
+func SpMMInto(c *spmat.DenseMat, a spmat.Matrix, b *spmat.DenseMat, threads int) {
+	checkSpMMShapes(a, b)
+	rows, _ := a.Dims()
+	if c.Rows != rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("localmm: SpMMInto accumulator is %v, want %dx%d", c, rows, b.Cols))
+	}
+	d := b.Cols
+	threads = clampThreads(threads, d)
+	if threads <= 1 || d < 2 {
+		spmmRange(c, a, b, 0, d)
+		return
+	}
+	// Phase 1 is the allocation the caller already did; the flop balance over
+	// dense columns is uniform (each costs nnz(A)), so an even split is exact.
+	bounds := spmat.PartBounds(d, threads)
+	runWorkers(bounds, func(_ *mmWorker, lo, hi int32) {
+		spmmRange(c, a, b, lo, hi)
+	})
+}
+
+// spmmRange accumulates A·B into dense columns [lo, hi) of c: the shared
+// inner loop of the serial and parallel paths. For every stored entry
+// A(i, k) it adds A(i,k)·B(k, lo:hi) into C(i, lo:hi) — one contiguous
+// row-slice multiply-add, which is why the dense panels are row-major.
+func spmmRange(c *spmat.DenseMat, a spmat.Matrix, b *spmat.DenseMat, lo, hi int32) {
+	a.EnumCols(func(k int32, rows []int32, vals []float64) {
+		brow := b.RowSlice(k)[lo:hi]
+		for e, i := range rows {
+			v := vals[e]
+			crow := c.RowSlice(i)[lo:hi]
+			for j, bv := range brow {
+				crow[j] += v * bv
+			}
+		}
+	})
+}
+
+// SpMMSerial is the naive serial dense reference the differential SpMM tests
+// compare every distributed schedule against: one goroutine, ascending
+// column order, full panel width.
+func SpMMSerial(a spmat.Matrix, b *spmat.DenseMat) *spmat.DenseMat {
+	checkSpMMShapes(a, b)
+	rows, _ := a.Dims()
+	c := spmat.NewDense(rows, b.Cols)
+	spmmRange(c, a, b, 0, b.Cols)
+	return c
+}
+
+// SDDMM computes the sampled dense-dense product C = S ∘ (U·Vᵀ): C has S's
+// sparsity pattern and C(i,j) = S(i,j) · ⟨U(i,:), V(j,:)⟩. S is n×m, U is
+// n×k, V is m×k. The output storage format follows S (a DCSC sample stays
+// doubly compressed). Workers own flop-balanced ranges of S's stored
+// columns; each entry's dot product is evaluated serially in ascending k
+// order, so values are bit-identical for every thread count.
+func SDDMM(s spmat.Matrix, u, v *spmat.DenseMat, threads int) spmat.Matrix {
+	sr, sc := s.Dims()
+	if sr != u.Rows || sc != v.Rows || u.Cols != v.Cols {
+		panic(fmt.Sprintf("localmm: SDDMM shapes S=%v U=%v V=%v", s, u, v))
+	}
+	out := s.CloneMat()
+	refs := colRefs(out)
+	k := int64(u.Cols)
+	colWork := make([]int64, len(refs))
+	for p, ref := range refs {
+		colWork[p] = int64(len(ref.rows)) * k
+	}
+	threads = clampThreads(threads, int32(len(refs)))
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := flopBounds(colWork, threads)
+	runWorkers(bounds, func(_ *mmWorker, lo, hi int32) {
+		for p := lo; p < hi; p++ {
+			ref := refs[p]
+			vrow := v.RowSlice(ref.j)
+			for e, i := range ref.rows {
+				urow := u.RowSlice(i)
+				var dot float64
+				for x := range urow {
+					dot += urow[x] * vrow[x]
+				}
+				ref.vals[e] *= dot
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,67 @@
+package mpi
+
+// This file implements the cyclic shift the 1.5D sparse×dense schedules
+// need: every rank of a communicator posts one payload and receives the
+// payload posted by the rank offset positions ahead of it. It is the
+// MPI_Sendrecv ring pattern of Koanantakool et al.'s 1.5D algorithms — each
+// round, the moving operand's blocks rotate one position around the ring —
+// expressed as a collective because the simulated transport is
+// bulk-synchronous. The split form (IshiftStart/Wait) mirrors Ibcast: the
+// payload exchange completes eagerly at post time, and the modeled cost is
+// charged when the request is completed, so a pipelined schedule can post
+// round r+1's shift, multiply round r, and hide the exchange behind the
+// multiply through WaitOverlap.
+
+// ShiftCost models one ring-shift round for a rank of a q-rank ring: a
+// single point-to-point receive of n bytes, α + β·n. A shift is a
+// permutation — every rank sends and receives exactly one message — so
+// unlike a broadcast there is no lg q tree depth.
+func (cm CostModel) ShiftCost(q int, n int64) float64 {
+	if q <= 1 {
+		return 0
+	}
+	return cm.AlphaSec + cm.BetaSecPerByte*float64(n)
+}
+
+// Shift performs the cyclic permutation immediately: the returned payload is
+// the one posted by rank (rank+offset) mod size. Offset may be negative or
+// exceed the size; offset ≡ 0 (mod size) returns msg itself at zero cost.
+// Like every collective, all ranks must call it together, and the payload is
+// shared — receivers treat it as read-only.
+func (c *Comm) Shift(offset int, msg Payload) Payload {
+	return c.IshiftStart(offset, msg).Wait()
+}
+
+// IshiftStart posts a shift without charging the meter. The returned request
+// holds the received payload and its modeled cost until Wait or WaitOverlap
+// claims them; it is a BcastRequest so the two split collectives share one
+// completion and pooling path.
+func (c *Comm) IshiftStart(offset int, msg Payload) *BcastRequest {
+	src := ((c.rank+offset)%c.size + c.size) % c.size
+	if src == c.rank {
+		// Self-shift: no data moves. Still a request so callers complete it
+		// uniformly, but at zero cost and zero bytes.
+		r := c.getBcastReq()
+		*r = BcastRequest{c: c, meter: c.meter, payload: msg}
+		c.addPending()
+		return r
+	}
+	c.core.slots[c.rank] = msg
+	c.Barrier()
+	out, _ := c.core.slots[src].(Payload)
+	c.Barrier()
+	var n int64
+	if out != nil {
+		n = out.CommBytes()
+	}
+	r := c.getBcastReq()
+	*r = BcastRequest{
+		c:       c,
+		meter:   c.meter,
+		payload: out,
+		bytes:   n,
+		cost:    c.cost.ShiftCost(c.size, n),
+	}
+	c.addPending()
+	return r
+}

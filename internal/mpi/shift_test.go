@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestShiftRouting: every rank must receive exactly the payload posted by
+// rank (rank+offset) mod size, for positive, negative, and wrapping offsets.
+func TestShiftRouting(t *testing.T) {
+	cm := CostModel{AlphaSec: 1e-6, BetaSecPerByte: 1e-9}
+	for _, offset := range []int{1, -1, 3, -5, 8, 0} {
+		Run(8, cm, func(c *Comm) {
+			got := c.Shift(offset, Bytes(100+c.Rank()))
+			want := ((c.Rank()+offset)%8 + 8) % 8
+			if int(got.(Bytes)) != 100+want {
+				t.Errorf("offset %d rank %d: got payload of rank %d, want %d",
+					offset, c.Rank(), int(got.(Bytes))-100, want)
+			}
+		})
+	}
+}
+
+// TestShiftCost: a shift must charge one point-to-point receive, α + β·n of
+// the *received* payload, to the meter's current category; an offset that is
+// a multiple of the size must cost nothing.
+func TestShiftCost(t *testing.T) {
+	cm := CostModel{AlphaSec: 1e-6, BetaSecPerByte: 1e-9}
+	meters := Run(4, cm, func(c *Comm) {
+		c.Meter().SetCategory("shift")
+		c.Shift(1, Bytes(1000*(c.Rank()+1)))
+	})
+	for r, m := range meters {
+		recv := int64(1000 * ((r+1)%4 + 1))
+		want := cm.ShiftCost(4, recv)
+		st := m.Step("shift")
+		if math.Abs(st.CommSeconds-want) > 1e-15 {
+			t.Errorf("rank %d: comm %.12g, want %.12g", r, st.CommSeconds, want)
+		}
+		if st.Bytes != recv || st.Messages != 1 {
+			t.Errorf("rank %d: bytes %d msgs %d, want %d and 1", r, st.Bytes, st.Messages, recv)
+		}
+	}
+
+	meters = Run(4, cm, func(c *Comm) {
+		c.Meter().SetCategory("noop")
+		c.Shift(4, Bytes(500))
+	})
+	for r, m := range meters {
+		if st := m.Step("noop"); st.CommSeconds != 0 || st.Bytes != 0 {
+			t.Errorf("rank %d: self-shift charged %v s %d B", r, st.CommSeconds, st.Bytes)
+		}
+	}
+}
+
+// TestIshiftOverlap: the split shift must charge only the exposed remainder
+// to the current category and park the hidden share in the hidden category,
+// exactly like Ibcast.
+func TestIshiftOverlap(t *testing.T) {
+	cm := CostModel{AlphaSec: 0, BetaSecPerByte: 1e-9}
+	n := int64(4000)
+	cost := cm.ShiftCost(4, n)
+	credit := cost / 2
+	meters := Run(4, cm, func(c *Comm) {
+		req := c.IshiftStart(1, Bytes(n))
+		c.Meter().SetCategory("exposed")
+		_, used := req.WaitOverlap(credit, "hidden")
+		if math.Abs(used-credit) > 1e-18 {
+			t.Errorf("rank %d: used %.12g of credit %.12g", c.Rank(), used, credit)
+		}
+	})
+	for r, m := range meters {
+		if got := m.Step("exposed").CommSeconds; math.Abs(got-(cost-credit)) > 1e-18 {
+			t.Errorf("rank %d: exposed %.12g, want %.12g", r, got, cost-credit)
+		}
+		if got := m.Step("hidden").HiddenSeconds; math.Abs(got-credit) > 1e-18 {
+			t.Errorf("rank %d: hidden %.12g, want %.12g", r, got, credit)
+		}
+		if m.Step("exposed").Bytes != n {
+			t.Errorf("rank %d: bytes must stay with the primary category", r)
+		}
+	}
+}
+
+// TestShiftLeakAudit: a posted but never-completed shift must trip the
+// leaked-request audit at Run teardown.
+func TestShiftLeakAudit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("leaked IshiftStart did not panic at Run teardown")
+		}
+	}()
+	Run(2, CostModel{}, func(c *Comm) {
+		c.IshiftStart(1, Bytes(8))
+	})
+}

@@ -1,0 +1,688 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// This file is the sparse×dense planner: it ranks the algorithm families the
+// runtime's MultiplyDense can execute — 2D/3D SUMMA over a densified panel,
+// 1.5D ColA, and 1.5D InnerABC — across replication factors, batch counts,
+// and schedules. The 1.5D predictions mirror core's schedules collective for
+// collective (skew/fiber broadcasts, ring shifts, fiber allgather-reduce)
+// with exact per-block wire sizes, so they are testable against real meters;
+// the SUMMA arm delegates to the sparse planner on an all-ones pattern of
+// the panel, which is exactly what the runtime's AlgoSUMMA arm executes.
+//
+// The ranking objective models iterated SpMM: each candidate's cost is split
+// into OneTimeSeconds (replication of the stationary operand, paid once per
+// matrix) and PerIterSeconds (shifts, reduction, compute, paid every
+// iteration), and ModelSeconds = one-time + Iterations × per-iteration. With
+// Iterations = 1 the split is a no-op; as it grows, candidates that amortize
+// replication (InnerABC replicates sparse A once and then moves only dense
+// panels) overtake candidates that re-move the sparse matrix every pass.
+
+// Dense algorithm spellings, shared with core.ParseAlgo and the -algo flag.
+const (
+	DenseAlgoSUMMA    = "summa"
+	DenseAlgoColA     = "cola"
+	DenseAlgoInnerABC = "innerabc"
+)
+
+// DenseAlgos lists the algorithm axis in enumeration order.
+var DenseAlgos = []string{DenseAlgoSUMMA, DenseAlgoColA, DenseAlgoInnerABC}
+
+// DenseInput configures a sparse×dense planning run.
+type DenseInput struct {
+	// P is the total rank count. Required.
+	P int
+	// Iterations is how many times the SpMM will run with the same sparse
+	// matrix (an iterative solver's passes). One-time replication cost is
+	// amortized over it. 0 means 1.
+	Iterations int
+	// MemBytes is the aggregate memory budget M (0 = unconstrained, which
+	// induces b = 1 everywhere).
+	MemBytes int64
+	// Machine supplies α, β, and the communication scale factor.
+	Machine costmodel.Machine
+	// BytesPerNnz is r, the modeled bytes per stored nonzero (default 24).
+	BytesPerNnz int64
+	// SecPerWork is the work-unit rate of the objective (default
+	// DefaultSecPerWork).
+	SecPerWork float64
+	// MaxBatches caps the induced batch count (0 = uncapped).
+	MaxBatches int
+	// Algos restricts the algorithm axis (nil = summa, cola, innerabc).
+	Algos []string
+	// Replications restricts the 1.5D replication factors (nil = every c
+	// with c² | p).
+	Replications []int
+	// Pipelines restricts the schedule dimension (nil = staged and
+	// pipelined).
+	Pipelines []bool
+}
+
+func (in DenseInput) withDefaults() DenseInput {
+	if in.Iterations < 1 {
+		in.Iterations = 1
+	}
+	if in.BytesPerNnz == 0 {
+		in.BytesPerNnz = spmat.BytesPerNonzero
+	}
+	if in.SecPerWork == 0 {
+		in.SecPerWork = DefaultSecPerWork
+	}
+	if in.Machine.Name == "" {
+		in.Machine = costmodel.CoriKNL()
+	}
+	if len(in.Algos) == 0 {
+		in.Algos = DenseAlgos
+	}
+	if len(in.Pipelines) == 0 {
+		in.Pipelines = []bool{false, true}
+	}
+	return in
+}
+
+// DenseConfig is one point of the sparse×dense configuration space.
+type DenseConfig struct {
+	// Algo is the algorithm family (DenseAlgoSUMMA, ...).
+	Algo string
+	// L is the SUMMA layer count (unused by the 1.5D algorithms).
+	L int
+	// C is the 1.5D replication factor (unused by SUMMA).
+	C int
+	// B is the batch count.
+	B int
+	// Pipeline selects the overlapped schedule.
+	Pipeline bool
+}
+
+// String renders the config the way reports and flags spell it.
+func (c DenseConfig) String() string {
+	sched := "staged"
+	if c.Pipeline {
+		sched = "pipelined"
+	}
+	if c.Algo == DenseAlgoSUMMA {
+		return c.Algo + " l=" + itoa(c.L) + " b=" + itoa(c.B) + " " + sched
+	}
+	return c.Algo + " c=" + itoa(c.C) + " b=" + itoa(c.B) + " " + sched
+}
+
+// DenseCandidate is one fully-evaluated sparse×dense configuration.
+type DenseCandidate struct {
+	DenseConfig
+	// Steps is the per-step breakdown of a single run (one-time plus one
+	// iteration), in Steps order.
+	Steps []StepCost
+	// OneTimeSeconds is the modeled cost paid once per sparse matrix: the
+	// replication broadcasts of the stationary operand (plus InnerABC's
+	// one-time column split). PerIterSeconds is everything paid per
+	// iteration: shifts, reduction, and compute.
+	OneTimeSeconds float64
+	PerIterSeconds float64
+	// CommSeconds, HiddenSeconds, WorkUnits aggregate the single-run Steps.
+	CommSeconds   float64
+	HiddenSeconds float64
+	WorkUnits     int64
+	// ModelSeconds is the ranking objective:
+	// OneTimeSeconds + Iterations·PerIterSeconds.
+	ModelSeconds float64
+	// PeakMemBytesPerRank is the predicted per-rank memory high-water mark.
+	PeakMemBytesPerRank int64
+	// Feasible is false when the configuration cannot run under the budget.
+	Feasible bool
+	// Note carries the infeasibility reason, if any.
+	Note string
+}
+
+// Step returns the named step's cost (zero value if absent).
+func (c *DenseCandidate) Step(name string) StepCost {
+	for _, s := range c.Steps {
+		if s.Step == name {
+			return s
+		}
+	}
+	return StepCost{}
+}
+
+// DensePlan is the ranked outcome of a sparse×dense planning run.
+type DensePlan struct {
+	// In echoes the (defaulted) inputs.
+	In DenseInput
+	// D is the dense panel width the plan was made for.
+	D int32
+	// Candidates holds every evaluated configuration, best first.
+	Candidates []DenseCandidate
+	// SUMMA is the sparse plan behind the densified arm (nil when the arm
+	// was excluded or the panel was too large to densify for planning).
+	SUMMA *Plan
+
+	a     *spmat.CSC
+	stats map[int]*denseStats
+}
+
+// ReplicationsFor returns every replication factor c for which p ranks form
+// a valid 1.5D grid (c² | p), ascending. c = 1 (the pure ring algorithm) is
+// always included.
+func ReplicationsFor(p int) []int {
+	var out []int
+	for c := 1; c <= p; c++ {
+		if grid.Valid15(p, c) == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// densifyLimit caps the pattern the SUMMA arm may materialize: beyond this
+// many entries the arm is skipped with a note instead of burning planning
+// time on a matrix the runtime would not want to densify anyway.
+const densifyLimit = 1 << 24
+
+// NewDense evaluates the sparse×dense configuration space for C = A·B where
+// B is a dense n×d panel, returning the ranked plan. Deterministic, like New.
+func NewDense(a *spmat.CSC, d int32, in DenseInput) (*DensePlan, error) {
+	in = in.withDefaults()
+	if in.P <= 0 {
+		return nil, fmt.Errorf("planner: rank count %d", in.P)
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("planner: dense width %d", d)
+	}
+	pl := &DensePlan{In: in, D: d, a: a, stats: make(map[int]*denseStats)}
+	reps := in.Replications
+	if len(reps) == 0 {
+		reps = ReplicationsFor(in.P)
+	}
+	for _, algo := range in.Algos {
+		switch algo {
+		case DenseAlgoSUMMA:
+			pl.addSUMMA(a, d, in)
+		case DenseAlgoColA, DenseAlgoInnerABC:
+			for _, c := range reps {
+				if err := grid.Valid15(in.P, c); err != nil {
+					return nil, fmt.Errorf("planner: replication %d: %w", c, err)
+				}
+				staged := pl.predict15(algo, c, 0, false)
+				for _, pipe := range in.Pipelines {
+					if !pipe {
+						pl.Candidates = append(pl.Candidates, staged)
+					} else if staged.Feasible {
+						pl.Candidates = append(pl.Candidates, pl.predict15(algo, c, staged.B, true))
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("planner: unknown dense algorithm %q", algo)
+		}
+	}
+	algoRank := map[string]int{DenseAlgoSUMMA: 0, DenseAlgoColA: 1, DenseAlgoInnerABC: 2}
+	sort.SliceStable(pl.Candidates, func(x, y int) bool {
+		cx, cy := &pl.Candidates[x], &pl.Candidates[y]
+		if cx.Feasible != cy.Feasible {
+			return cx.Feasible
+		}
+		if cx.ModelSeconds != cy.ModelSeconds {
+			return cx.ModelSeconds < cy.ModelSeconds
+		}
+		if algoRank[cx.Algo] != algoRank[cy.Algo] {
+			return algoRank[cx.Algo] < algoRank[cy.Algo]
+		}
+		if cx.C != cy.C {
+			return cx.C < cy.C
+		}
+		if cx.B != cy.B {
+			return cx.B < cy.B
+		}
+		return !cx.Pipeline && cy.Pipeline
+	})
+	return pl, nil
+}
+
+// Best returns the top-ranked feasible candidate, or nil.
+func (pl *DensePlan) Best() *DenseCandidate {
+	if len(pl.Candidates) == 0 || !pl.Candidates[0].Feasible {
+		return nil
+	}
+	return &pl.Candidates[0]
+}
+
+// Evaluate predicts one explicit sparse×dense configuration, pinning its
+// batch count (cfg.B ≤ 0 induces). Tests and the oracle sweep use it.
+func (pl *DensePlan) Evaluate(cfg DenseConfig) (DenseCandidate, error) {
+	switch cfg.Algo {
+	case DenseAlgoColA, DenseAlgoInnerABC:
+		if err := grid.Valid15(pl.In.P, cfg.C); err != nil {
+			return DenseCandidate{}, err
+		}
+		return pl.predict15(cfg.Algo, cfg.C, cfg.B, cfg.Pipeline), nil
+	case DenseAlgoSUMMA:
+		if pl.SUMMA == nil {
+			return DenseCandidate{}, fmt.Errorf("planner: the SUMMA arm was not enumerated")
+		}
+		sc, err := pl.SUMMA.Evaluate(Config{L: cfg.L, B: cfg.B, Format: spmat.FormatAuto, Pipeline: cfg.Pipeline})
+		if err != nil {
+			return DenseCandidate{}, err
+		}
+		return pl.wrapSUMMA(sc), nil
+	}
+	return DenseCandidate{}, fmt.Errorf("planner: unknown dense algorithm %q", cfg.Algo)
+}
+
+// addSUMMA runs the sparse planner on the densified panel pattern and adopts
+// its best candidate as the SUMMA arm.
+func (pl *DensePlan) addSUMMA(a *spmat.CSC, d int32, in DenseInput) {
+	if int64(a.Cols)*int64(d) > densifyLimit {
+		pl.Candidates = append(pl.Candidates, DenseCandidate{
+			DenseConfig: DenseConfig{Algo: DenseAlgoSUMMA, L: 1, B: 1},
+			Feasible:    false,
+			Note:        "panel too large to densify for planning",
+		})
+		return
+	}
+	sp, err := New(a, denseOnesCSC(a.Cols, d), Input{
+		P: in.P, MemBytes: in.MemBytes, Machine: in.Machine,
+		BytesPerNnz: in.BytesPerNnz, SecPerWork: in.SecPerWork,
+		MaxBatches: in.MaxBatches, Pipelines: in.Pipelines,
+	})
+	if err != nil {
+		pl.Candidates = append(pl.Candidates, DenseCandidate{
+			DenseConfig: DenseConfig{Algo: DenseAlgoSUMMA, L: 1, B: 1},
+			Feasible:    false,
+			Note:        "sparse planner: " + err.Error(),
+		})
+		return
+	}
+	pl.SUMMA = sp
+	if len(sp.Candidates) > 0 {
+		pl.Candidates = append(pl.Candidates, pl.wrapSUMMA(sp.Candidates[0]))
+	}
+}
+
+// wrapSUMMA maps a sparse-planner candidate onto the dense axis. SUMMA has
+// no amortizable one-time share in the runtime — it re-broadcasts the sparse
+// matrix every pass — so the whole cost is per-iteration.
+func (pl *DensePlan) wrapSUMMA(sc Candidate) DenseCandidate {
+	return DenseCandidate{
+		DenseConfig:         DenseConfig{Algo: DenseAlgoSUMMA, L: sc.L, B: sc.B, Pipeline: sc.Pipeline},
+		Steps:               sc.Steps,
+		PerIterSeconds:      sc.ModelSeconds,
+		CommSeconds:         sc.CommSeconds,
+		HiddenSeconds:       sc.HiddenSeconds,
+		WorkUnits:           sc.WorkUnits,
+		ModelSeconds:        float64(pl.In.Iterations) * sc.ModelSeconds,
+		PeakMemBytesPerRank: sc.PeakMemBytesPerRank,
+		Feasible:            sc.Feasible,
+		Note:                sc.Note,
+	}
+}
+
+// denseOnesCSC builds the all-ones pattern the runtime's ToCSC of a dense
+// panel produces (every column full).
+func denseOnesCSC(rows, cols int32) *spmat.CSC {
+	nnz := int64(rows) * int64(cols)
+	m := &spmat.CSC{
+		Rows: rows, Cols: cols,
+		ColPtr:     make([]int64, cols+1),
+		RowIdx:     make([]int32, nnz),
+		Val:        make([]float64, nnz),
+		SortedCols: true,
+	}
+	for j := int32(0); j < cols; j++ {
+		m.ColPtr[j+1] = int64(j+1) * int64(rows)
+		base := int64(j) * int64(rows)
+		for i := int32(0); i < rows; i++ {
+			m.RowIdx[base+int64(i)] = i
+			m.Val[base+int64(i)] = 1
+		}
+	}
+	return m
+}
+
+// denseStats holds the exact per-block statistics of A on an s-position ring:
+// block-columns (the ColA moving operand / InnerABC inner blocks) and
+// block-rows (the InnerABC stationary operand).
+type denseStats struct {
+	s                    int
+	colBounds, rowBounds []int32
+	colNNZ, colNE        []int64
+	colWire              []int64
+	rowNNZ, rowNE        []int64
+	rowWire              []int64
+}
+
+func (pl *DensePlan) statsFor(s int) *denseStats {
+	if st, ok := pl.stats[s]; ok {
+		return st
+	}
+	a := pl.a
+	st := &denseStats{
+		s:         s,
+		colBounds: spmat.PartBounds(a.Cols, s),
+		rowBounds: spmat.PartBounds(a.Rows, s),
+		colNNZ:    make([]int64, s), colNE: make([]int64, s), colWire: make([]int64, s),
+		rowNNZ: make([]int64, s), rowNE: make([]int64, s), rowWire: make([]int64, s),
+	}
+	for i := 0; i < s; i++ {
+		lo, hi := st.colBounds[i], st.colBounds[i+1]
+		st.colNNZ[i] = a.ColPtr[hi] - a.ColPtr[lo]
+		for j := lo; j < hi; j++ {
+			if a.ColPtr[j+1] > a.ColPtr[j] {
+				st.colNE[i]++
+			}
+		}
+		st.colWire[i] = spmat.WireBytesFor(hi-lo, st.colNE[i], st.colNNZ[i])
+	}
+	// Row-block nnz and occupied-column counts in one pass: a column is
+	// occupied in row block i when it has at least one entry there.
+	stamp := make([]int32, s)
+	for j := int32(0); j < a.Cols; j++ {
+		for e := a.ColPtr[j]; e < a.ColPtr[j+1]; e++ {
+			blk := partIndex(st.rowBounds, a.RowIdx[e])
+			st.rowNNZ[blk]++
+			if stamp[blk] != j+1 {
+				stamp[blk] = j + 1
+				st.rowNE[blk]++
+			}
+		}
+	}
+	for i := 0; i < s; i++ {
+		st.rowWire[i] = spmat.WireBytesFor(a.Cols, st.rowNE[i], st.rowNNZ[i])
+	}
+	pl.stats[s] = st
+	return st
+}
+
+// boundsMaxWidth returns the widest part of a PartBounds split.
+func boundsMaxWidth(b []int32) int32 {
+	var w int32
+	for i := 0; i+1 < len(b); i++ {
+		if d := b[i+1] - b[i]; d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+// memModel15 is the flat footprint of a sparse block under the auto format
+// heuristic — the same spmat.MemBytesModel accounting the runtime's
+// MemBytes() reports.
+func memModel15(cols int32, ne, nnz, r int64) int64 {
+	f := spmat.FormatCSC
+	if spmat.Hypersparse(ne, cols) {
+		f = spmat.FormatDCSC
+	}
+	return spmat.MemBytesModel(f, nnz, ne, r)
+}
+
+// predict15 evaluates one 1.5D configuration. forceB ≤ 0 induces the batch
+// count from the memory budget; pipe derives the overlapped schedule. The
+// comm terms replay the runtime's collectives per rank and take the maximum
+// — the same per-step critical-path aggregation mpi.Summarize reports.
+func (pl *DensePlan) predict15(algo string, c, forceB int, pipe bool) DenseCandidate {
+	in := pl.In
+	a := pl.a
+	p := in.P
+	s := p / c
+	R := s / c
+	st := pl.statsFor(s)
+	cm := mpi.CostModel{AlphaSec: in.Machine.AlphaSec, BetaSecPerByte: in.Machine.BetaSecPerByte}
+	cs := in.Machine.CommScale
+	rate := in.SecPerWork
+	rBytes := in.BytesPerNnz
+	d := pl.D
+	nnz := a.ColPtr[a.Cols]
+
+	// Shapes the memory model needs.
+	var maxBlkMem int64 // ColA: widest A block-column footprint
+	for i := 0; i < s; i++ {
+		if m := memModel15(st.colBounds[i+1]-st.colBounds[i], st.colNE[i], st.colNNZ[i], rBytes); m > maxBlkMem {
+			maxBlkMem = m
+		}
+	}
+	var maxRowMem int64 // InnerABC: heaviest A block-row footprint
+	for i := 0; i < s; i++ {
+		if m := memModel15(a.Cols, st.rowNE[i], st.rowNNZ[i], rBytes); m > maxRowMem {
+			maxRowMem = m
+		}
+	}
+	dBounds := spmat.PartBounds(d, s)
+	maxPanelW := boundsMaxWidth(dBounds)         // ColA: widest B/C column panel
+	maxInnerRows := boundsMaxWidth(st.colBounds) // InnerABC: tallest B block
+	maxRowsJ := boundsMaxWidth(st.rowBounds)     // InnerABC: tallest C panel
+
+	mul := int64(1)
+	if pipe && R > 1 {
+		mul = 2 // the posted shift keeps two moving blocks live
+	}
+	peakFor := func(b int) int64 {
+		var live, reduce int64
+		switch algo {
+		case DenseAlgoColA:
+			piece := (maxPanelW + int32(b) - 1) / int32(b)
+			acc := spmat.DenseMemBytes(a.Rows, piece)
+			live = mul*maxBlkMem + spmat.DenseMemBytes(a.Rows, maxPanelW) + acc
+			reduce = int64(c+2) * acc
+		default: // InnerABC
+			piece := (d + int32(b) - 1) / int32(b)
+			acc := spmat.DenseMemBytes(maxRowsJ, piece)
+			live = maxRowMem + mul*spmat.DenseMemBytes(maxInnerRows, piece) + acc
+			reduce = int64(c+2) * acc
+		}
+		if reduce > live && c > 1 {
+			return reduce
+		}
+		return live
+	}
+
+	cand := DenseCandidate{
+		DenseConfig: DenseConfig{Algo: algo, C: c, Pipeline: pipe},
+		Feasible:    true,
+	}
+
+	// Batch decision: the smallest b whose modeled peak fits the per-rank
+	// share of the budget. The runtime only obeys ForceBatches, so the
+	// planner is the authority here.
+	maxB := int(d)
+	if maxB < 1 {
+		maxB = 1
+	}
+	if in.MaxBatches > 0 && maxB > in.MaxBatches {
+		maxB = in.MaxBatches
+	}
+	b := forceB
+	if b <= 0 {
+		b = 1
+		if in.MemBytes > 0 {
+			budget := in.MemBytes / int64(p)
+			for b < maxB && peakFor(b) > budget {
+				b++
+			}
+		}
+	}
+	cand.B = b
+	cand.PeakMemBytesPerRank = peakFor(b)
+	if in.MemBytes > 0 && cand.PeakMemBytesPerRank > in.MemBytes/int64(p) {
+		cand.Feasible = false
+		cand.Note = "modeled peak does not fit the per-process budget in " + itoa(b) + " batches"
+	}
+
+	// Per-rank communication walks, exactly the runtime's collectives.
+	agCost := func(wire int64) float64 { // fiber allgather of one dense partial
+		if c <= 1 {
+			return 0
+		}
+		return cm.AllreduceCost(c, 0) + cm.BetaSecPerByte*float64(int64(c)*wire)
+	}
+	// maxAStep/maxBStep track the per-rank *sums* the meters aggregate (max
+	// over ranks of each rank's step total); the component maxima feed the
+	// one-time split and the overlap model.
+	var maxOneA, maxShiftRound, maxShiftB, maxOneB, maxAStep, maxBStep, maxFiber float64
+	for k := 0; k < c; k++ {
+		for j := 0; j < s; j++ {
+			start := (j + k*R) % s
+			switch algo {
+			case DenseAlgoColA:
+				oneA := cs * cm.BcastCost(c, st.colWire[start])
+				var round float64
+				for r := 1; r < R; r++ {
+					round += cm.ShiftCost(s, st.colWire[(start+r)%s])
+				}
+				round *= float64(b)
+				rewind := float64(b-1) * cm.ShiftCost(s, st.colWire[start])
+				round *= cs
+				rewind *= cs
+				pieces := spmat.PartBounds(dBounds[j+1]-dBounds[j], b)
+				var oneB, fiber float64
+				for t := 0; t < b; t++ {
+					wire := spmat.DenseWireBytesFor(a.Rows, pieces[t+1]-pieces[t])
+					oneB += cm.BcastCost(c, wire)
+					fiber += agCost(wire)
+				}
+				oneB *= cs
+				fiber *= cs
+				if oneA > maxOneA {
+					maxOneA = oneA
+				}
+				if round > maxShiftRound {
+					maxShiftRound = round
+				}
+				if oneA+round+rewind > maxAStep {
+					maxAStep = oneA + round + rewind
+				}
+				if oneB > maxOneB {
+					maxOneB = oneB
+				}
+				if oneB > maxBStep {
+					maxBStep = oneB
+				}
+				if fiber > maxFiber {
+					maxFiber = fiber
+				}
+			default: // InnerABC
+				oneA := cs * cm.BcastCost(c, st.rowWire[j])
+				dPieces := spmat.PartBounds(d, b)
+				var skew, shift, fiber float64
+				for t := 0; t < b; t++ {
+					pw := dPieces[t+1] - dPieces[t]
+					skew += cm.BcastCost(c, spmat.DenseWireBytesFor(st.colBounds[start+1]-st.colBounds[start], pw))
+					for r := 1; r < R; r++ {
+						blk := (start + r) % s
+						shift += cm.ShiftCost(s, spmat.DenseWireBytesFor(st.colBounds[blk+1]-st.colBounds[blk], pw))
+					}
+					fiber += agCost(spmat.DenseWireBytesFor(st.rowBounds[j+1]-st.rowBounds[j], pw))
+				}
+				skew *= cs
+				shift *= cs
+				fiber *= cs
+				if oneA > maxOneA {
+					maxOneA = oneA
+				}
+				if oneA > maxAStep {
+					maxAStep = oneA
+				}
+				if shift > maxShiftB {
+					maxShiftB = shift
+				}
+				if skew+shift > maxBStep {
+					maxBStep = skew + shift
+				}
+				if fiber > maxFiber {
+					maxFiber = fiber
+				}
+			}
+		}
+	}
+
+	// Work units, matching the meters' accounting (flops plus one unit per
+	// measured call).
+	n64, d64, p64, b64 := int64(a.Rows), int64(d), int64(p), int64(b)
+	c64 := int64(c)
+	multWork := nnz*d64 + p64*int64(R)*b64
+	var mergeLayerWork, mergeFiberWork int64
+	if algo == DenseAlgoInnerABC {
+		mergeLayerWork = c64*nnz + p64*int64(a.Cols) + p64
+	}
+	// Fiber reduction: per rank per batch, c·(panel elements)+1 summed
+	// entries. Either algorithm's panels tile one full n×d product per
+	// layer, so the all-rank total is c²·n·d regardless of which dimension
+	// was partitioned. The b>1 term is the final HCat packing.
+	if c > 1 {
+		mergeFiberWork = c64*c64*n64*d64 + p64*b64
+	}
+	if b > 1 {
+		mergeFiberWork += c64*n64*d64 + p64
+	}
+
+	// Assemble the steps. A single run = one-time + one iteration.
+	aStep := StepCost{Step: StepABcast, CommSeconds: maxAStep}
+	bStep := StepCost{Step: StepBBcast, CommSeconds: maxBStep}
+	steps := []StepCost{
+		aStep,
+		bStep,
+		{Step: StepLocalMult, WorkUnits: multWork},
+	}
+	if mergeLayerWork > 0 {
+		steps = append(steps, StepCost{Step: StepMergeLayer, WorkUnits: mergeLayerWork})
+	}
+	steps = append(steps,
+		StepCost{Step: StepAllToAll, CommSeconds: maxFiber},
+		StepCost{Step: StepMergeFiber, WorkUnits: mergeFiberWork},
+	)
+
+	// Overlap: the pipelined schedules post each ring shift before the
+	// multiply it rides behind; per window the hidden share is
+	// min(window comm, window compute), the ledger model.
+	var hidden float64
+	if pipe && R > 1 {
+		windows := float64(b * (R - 1))
+		shiftComm := maxShiftRound
+		if algo == DenseAlgoInnerABC {
+			shiftComm = maxShiftB
+		}
+		perComp := float64(multWork) * rate / float64(p) / float64(b*R)
+		hidden = windows * minf(shiftComm/windows, perComp)
+		for i := range steps {
+			hideStep := StepABcast
+			if algo == DenseAlgoInnerABC {
+				hideStep = StepBBcast
+			}
+			if steps[i].Step == hideStep {
+				steps[i].CommSeconds -= hidden
+				steps[i].HiddenSeconds = hidden
+			}
+		}
+	}
+
+	cand.Steps = steps
+	for _, sc := range steps {
+		cand.CommSeconds += sc.CommSeconds
+		cand.HiddenSeconds += sc.HiddenSeconds
+		cand.WorkUnits += sc.WorkUnits
+	}
+
+	// One-time vs per-iteration split. ColA's stationary panel broadcast is
+	// one-time because chained iterations leave the reduced C panel
+	// replicated on every layer — exactly where the next B panel must be;
+	// InnerABC amortizes the sparse replication and its column split but
+	// re-distributes the fresh dense panel every pass.
+	switch algo {
+	case DenseAlgoColA:
+		cand.OneTimeSeconds = maxOneA + maxOneB
+	default:
+		cand.OneTimeSeconds = maxOneA + float64(mergeLayerWork)*rate
+	}
+	cand.PerIterSeconds = cand.CommSeconds + float64(cand.WorkUnits)*rate - cand.OneTimeSeconds
+	if cand.PerIterSeconds < 0 {
+		cand.PerIterSeconds = 0
+	}
+	cand.ModelSeconds = cand.OneTimeSeconds + float64(in.Iterations)*cand.PerIterSeconds
+	return cand
+}

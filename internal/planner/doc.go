@@ -29,4 +29,14 @@
 // ranked configurations for a Matrix Market file. The `planner` experiment
 // (and `spgemm-bench -plangate`) scores the planner's pick against an
 // exhaustive oracle sweep.
+//
+// NewDense extends the enumeration to sparse×dense multiplication: the
+// algorithm axis (densified 2D/3D SUMMA vs the 1.5D ColA and InnerABC
+// schedules) × replication factor × batches × schedule, with each
+// candidate's cost split into one-time replication and per-iteration
+// shares so iterated SpMM (DenseInput.Iterations) amortizes correctly. The
+// 1.5D predictors mirror core's schedules collective for collective with
+// exact per-block wire sizes and are meter-exact on staged shapes; the
+// SUMMA arm delegates to the sparse planner on the panel's densified
+// pattern — exactly what the runtime's AlgoSUMMA arm executes.
 package planner

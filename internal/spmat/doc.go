@@ -47,4 +47,15 @@
 // mpi.Payloads so pieces can ride the simulated collectives with exact
 // wire-size accounting (memoized per block, so the batched schedule's
 // repeated broadcasts never rescan columns).
+//
+// # Dense panels
+//
+// DenseMat is the row-major dense matrix the sparse×dense (SpMM) engine
+// multiplies sparse operands against — the tall-skinny feature panels of
+// iterated solvers and GNN layers. It carries the same machinery the sparse
+// types do: an mpi.Payload wire encoding (Serialize/DeserializeDense, with
+// its own fuzz harness), exact wire and memory sizing, row/column slicing
+// for the 1.5D distributions, and exact (DenseEqual) plus
+// tolerance-admitting (DenseApproxEqual) comparison. DenseFromCSC and
+// ToCSC bridge the two worlds for densified-SUMMA execution and tests.
 package spmat

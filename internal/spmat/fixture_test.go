@@ -1,0 +1,55 @@
+package spmat
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTallSkinnyFixture pins the checked-in SpMM feature panel: the fixture
+// must parse, carry the tall-skinny shape the spmm experiment expects,
+// densify losslessly, and survive the dense wire format round trip.
+func TestTallSkinnyFixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "tallskinny_256x8.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := ReadMatrixMarket(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 256 || m.Cols != 8 {
+		t.Fatalf("fixture is %dx%d, want 256x8", m.Rows, m.Cols)
+	}
+	if m.NNZ() == 0 || m.NNZ() == int64(m.Rows)*int64(m.Cols) {
+		t.Fatalf("fixture nnz %d should be a partial fill of %d", m.NNZ(), int64(m.Rows)*int64(m.Cols))
+	}
+
+	d := DenseFromCSC(m)
+	if d.Rows != m.Rows || d.Cols != m.Cols {
+		t.Fatalf("densified to %dx%d", d.Rows, d.Cols)
+	}
+	// Every stored entry is a small positive integer (exact in float64 —
+	// what keeps distributed products over the panel bit-identical).
+	for j := int32(0); j < m.Cols; j++ {
+		rows, vals := m.Column(j)
+		for i := range rows {
+			v := vals[i]
+			if v != float64(int(v)) || v < 1 || v > 9 {
+				t.Fatalf("entry (%d,%d)=%g is not a small integer", rows[i], j, v)
+			}
+			if d.At(rows[i], j) != v {
+				t.Fatalf("densify dropped (%d,%d)", rows[i], j)
+			}
+		}
+	}
+
+	back, err := DeserializeDense(d.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DenseEqual(back, d) {
+		t.Error("dense wire round trip changed the fixture")
+	}
+}

@@ -18,7 +18,12 @@
 //     Merge-Layer) and reports the hidden communication in
 //     Stats.HiddenCommSeconds;
 //   - the three driving applications: Markov clustering (HipMCL), triangle
-//     counting, and sequence-overlap detection (BELLA/PASTIS).
+//     counting, and sequence-overlap detection (BELLA/PASTIS);
+//   - a sparse×dense engine for tall-skinny panels (iterated SpMM, the GNN
+//     propagation workload): Cluster.MultiplyDense runs the 1.5D ColA and
+//     InnerABC schedules with replication factor c (Options.Algo,
+//     Options.Replication) or densifies through SUMMA, and the analytical
+//     planner picks among the three families under Options.AutoTune.
 //
 // A minimal multiply:
 //
@@ -48,6 +53,11 @@ import (
 // Matrix is a sparse matrix in compressed sparse column form. See the spmat
 // package for the full method set (NNZ, Column, Transpose helpers, …).
 type Matrix = spmat.CSC
+
+// DenseMatrix is a row-major dense matrix — the tall-skinny operand of the
+// sparse×dense path. See the spmat package for the full method set (At, Set,
+// RowSlice, Clone, serialization, …).
+type DenseMatrix = spmat.DenseMat
 
 // Triple is a coordinate-format entry used to build matrices.
 type Triple = spmat.Triple
@@ -113,6 +123,29 @@ const (
 // ParseSparseMode maps a CLI string (off|auto|on) to a SparseMode.
 func ParseSparseMode(s string) (SparseMode, error) { return mpi.ParseSparseMode(s) }
 
+// Algo selects the distributed algorithm family Cluster.MultiplyDense runs.
+// See Options.Algo.
+type Algo = core.Algo
+
+// Algorithm families for Options.Algo.
+const (
+	// AlgoSUMMA densifies the panel through the sparse 2D/3D SUMMA pipeline
+	// (the zero value; for genuinely sparse panels at low concurrency it can
+	// win on the larger per-message payloads).
+	AlgoSUMMA = core.AlgoSUMMA
+	// AlgoColA is 1.5D ColA: the sparse matrix is block-column partitioned
+	// and rotates around a ring while the dense panel stays put, replicated
+	// c-fold; iterated SpMM amortizes the one-time panel replication.
+	AlgoColA = core.AlgoColA
+	// AlgoInnerABC is 1.5D InnerABC: the sparse matrix is block-row
+	// partitioned and stationary (replicated once, amortized across
+	// iterations) while the dense panel rotates.
+	AlgoInnerABC = core.AlgoInnerABC
+)
+
+// ParseAlgo maps a CLI string (summa|cola|innerabc) to an Algo.
+func ParseAlgo(s string) (Algo, error) { return core.ParseAlgo(s) }
+
 // Kernel selects the local multiply implementation.
 type Kernel = localmm.Kernel
 
@@ -137,6 +170,20 @@ const (
 
 // NewMatrix returns an empty rows×cols matrix.
 func NewMatrix(rows, cols int32) *Matrix { return spmat.New(rows, cols) }
+
+// NewDenseMatrix returns a zero rows×cols dense matrix.
+func NewDenseMatrix(rows, cols int32) *DenseMatrix { return spmat.NewDense(rows, cols) }
+
+// DenseFromSparse materializes a sparse matrix as a dense one.
+func DenseFromSparse(m *Matrix) *DenseMatrix { return spmat.DenseFromCSC(m) }
+
+// DenseEqual compares two dense matrices bit for bit.
+func DenseEqual(a, b *DenseMatrix) bool { return spmat.DenseEqual(a, b) }
+
+// DenseEqualApprox compares two dense matrices entry-wise within tol.
+func DenseEqualApprox(a, b *DenseMatrix, tol float64) bool {
+	return spmat.DenseApproxEqual(a, b, tol)
+}
 
 // FromTriples builds a matrix from coordinates, accumulating duplicates.
 func FromTriples(rows, cols int32, ts []Triple) (*Matrix, error) {
@@ -183,6 +230,13 @@ func MultiplyParallel(a, b *Matrix, sr *Semiring, threads int) *Matrix {
 		sr = semiring.PlusTimes()
 	}
 	return localmm.ParallelSpGEMM(localmm.KernelHashSorted, a, b, sr, threads)
+}
+
+// MultiplyDenseSerial computes A·B for a dense panel B on the host with the
+// serial two-phase SpMM kernel — the reference the distributed schedules are
+// bit-identical to.
+func MultiplyDenseSerial(a *Matrix, b *DenseMatrix) *DenseMatrix {
+	return localmm.SpMMSerial(a, b)
 }
 
 // Flops returns the number of multiplications needed for A·B.
@@ -275,8 +329,21 @@ type Options struct {
 	// input pair under MemBytes — the paper's l/b/format sweeps decided
 	// analytically instead of by hand. The decision is deterministic; the
 	// executed configuration is reported in Stats.Layers, Stats.Batches,
-	// Stats.Format, and Stats.Pipeline.
+	// Stats.Format, and Stats.Pipeline. For MultiplyDense the planner
+	// additionally decides the algorithm family and replication factor
+	// (Stats.Algo, Stats.Replication).
 	AutoTune bool
+	// Algo selects the distributed algorithm family for MultiplyDense:
+	// AlgoSUMMA (the zero value) densifies the panel through the sparse
+	// pipeline, AlgoColA and AlgoInnerABC run the 1.5D schedules. Ignored by
+	// the sparse×sparse Multiply.
+	Algo Algo
+	// Replication is c, the 1.5D replication factor of MultiplyDense: the p
+	// ranks form a ring of p/c positions × c layers, the stationary operand
+	// is replicated c-fold, and rotation rounds shrink from p to p/c².
+	// Requires c² | p; 0 means 1 (the pure ring algorithm). Ignored by
+	// AlgoSUMMA and the sparse×sparse Multiply.
+	Replication int
 }
 
 func (o Options) toCore() core.Options {
@@ -292,6 +359,8 @@ func (o Options) toCore() core.Options {
 		Format:       o.Format,
 		SparseComm:   o.SparseComm,
 		AutoTune:     o.AutoTune,
+		Algo:         o.Algo,
+		Replication:  o.Replication,
 	}
 }
 
@@ -312,6 +381,11 @@ type Stats struct {
 	// ones).
 	Format   Format
 	Pipeline bool
+	// Algo and Replication are the executed algorithm family and 1.5D
+	// replication factor of a MultiplyDense run (AlgoSUMMA and 0 for the
+	// sparse×sparse path).
+	Algo        Algo
+	Replication int
 	// PeakMemBytes is the max-over-ranks modeled memory high-water mark.
 	PeakMemBytes int64
 	// Flops is the total multiplication count across ranks.
@@ -379,6 +453,73 @@ func LocalHost() Machine { return costmodel.LocalHost() }
 // Multiply runs BatchedSUMMA3D for C = A·B and assembles the global result.
 func (c *Cluster) Multiply(a, b *Matrix, opts Options) (*Matrix, *Stats, error) {
 	return c.multiply(a, b, opts, nil)
+}
+
+// MultiplyDense computes C = A·B for a dense n×d panel B (iterated SpMM, the
+// GNN propagation workload) and assembles the global dense result.
+// Options.Algo picks the family: the 1.5D ColA or InnerABC schedules with
+// Options.Replication-fold replication, or AlgoSUMMA, which densifies the
+// panel through the sparse pipeline. Only the plus-times semiring is
+// supported (a dense accumulator has no additive identity for the others).
+// Output is bit-identical to MultiplyDenseSerial for every configuration.
+func (c *Cluster) MultiplyDense(a *Matrix, b *DenseMatrix, opts Options) (*DenseMatrix, *Stats, error) {
+	rc := core.RunConfig{P: c.procs, L: c.layers, Cost: c.machine.Cost(), Opts: opts.toCore()}
+	if opts.AutoTune {
+		// Resolve the plan here (as in multiply) so the executed algorithm,
+		// replication, and batch count can be reported in Stats, under the
+		// cluster's full machine model.
+		var err error
+		if rc, _, err = core.AutoTuneDenseOnMachine(a, b, rc, c.machine); err != nil {
+			return nil, nil, err
+		}
+	}
+	out, results, summary, err := core.MultiplyDense(a, b, rc)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{Steps: make(map[string]StepStat)}
+	for _, r := range results {
+		st.Batches = r.Batches
+		st.Flops += r.LocalFlops
+		if r.PeakMemBytes > st.PeakMemBytes {
+			st.PeakMemBytes = r.PeakMemBytes
+		}
+	}
+	if results == nil {
+		// The SUMMA arm runs the sparse pipeline; the forced batch count is
+		// the executed one (the planner pins it under AutoTune).
+		if st.Batches = rc.Opts.ForceBatches; st.Batches < 1 {
+			st.Batches = 1
+		}
+	}
+	for _, step := range core.Steps {
+		s := summary.Step(step)
+		stat := StepStat{
+			CommSeconds:    s.CommSeconds * c.machine.CommScale,
+			ComputeSeconds: s.ComputeSeconds * c.machine.ComputeScale,
+			Bytes:          s.Bytes,
+			Messages:       s.Messages,
+		}
+		if hc := core.HiddenFor(step); hc != "" {
+			stat.HiddenCommSeconds = summary.Step(hc).HiddenSeconds * c.machine.CommScale
+		}
+		st.Steps[step] = stat
+		st.TotalSeconds += stat.CommSeconds + stat.ComputeSeconds
+	}
+	for _, step := range core.HiddenSteps {
+		st.HiddenCommSeconds += summary.Step(step).HiddenSeconds * c.machine.CommScale
+	}
+	st.Layers = rc.L
+	st.Pipeline = rc.Opts.Pipeline
+	st.Algo = rc.Opts.Algo
+	if rc.Opts.Algo != core.AlgoSUMMA {
+		st.Replication = rc.Opts.Replication
+		if st.Replication == 0 {
+			st.Replication = 1
+		}
+		st.Layers = 0
+	}
+	return out, st, nil
 }
 
 // MultiplyBatched runs BatchedSUMMA3D, invoking hook on every rank for every

@@ -408,3 +408,67 @@ func TestFacadeAutoTune(t *testing.T) {
 		t.Errorf("budgeted autotune reported batches=%d", statsB.Batches)
 	}
 }
+
+func TestFacadeMultiplyDense(t *testing.T) {
+	// Unweighted (integer-valued) sparse operand and small-integer panel:
+	// every partial sum is exact in float64, so bit-identity is assertable.
+	a := spgemm.RandomGraph(6, 6, true, 31)
+	b := spgemm.NewDenseMatrix(a.Cols, 6)
+	for i := int32(0); i < b.Rows; i++ {
+		for j := int32(0); j < b.Cols; j++ {
+			b.Set(i, j, float64((int(i)*7+int(j)*3)%9+1))
+		}
+	}
+	want := spgemm.MultiplyDenseSerial(a, b)
+	cluster := spgemm.NewCluster(8, 2)
+
+	for _, tc := range []struct {
+		algo spgemm.Algo
+		c    int
+	}{
+		{spgemm.AlgoColA, 2},
+		{spgemm.AlgoInnerABC, 2},
+		{spgemm.AlgoColA, 1},
+	} {
+		got, stats, err := cluster.MultiplyDense(a, b, spgemm.Options{
+			Algo: tc.algo, Replication: tc.c, Batches: 2,
+		})
+		if err != nil {
+			t.Fatalf("%v c=%d: %v", tc.algo, tc.c, err)
+		}
+		if !spgemm.DenseEqual(got, want) {
+			t.Errorf("%v c=%d: result differs from serial reference", tc.algo, tc.c)
+		}
+		if stats.Algo != tc.algo || stats.Replication != tc.c || stats.Batches != 2 {
+			t.Errorf("%v c=%d: stats report algo=%v c=%d b=%d", tc.algo, tc.c,
+				stats.Algo, stats.Replication, stats.Batches)
+		}
+		if stats.Flops != a.NNZ()*int64(b.Cols) {
+			t.Errorf("%v c=%d: flops=%d, want %d", tc.algo, tc.c, stats.Flops, a.NNZ()*int64(b.Cols))
+		}
+	}
+
+	// The SUMMA arm densifies through the sparse pipeline.
+	got, stats, err := cluster.MultiplyDense(a, b, spgemm.Options{Algo: spgemm.AlgoSUMMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.DenseEqual(got, want) {
+		t.Error("SUMMA arm differs from serial reference")
+	}
+	if stats.Algo != spgemm.AlgoSUMMA || stats.Replication != 0 {
+		t.Errorf("SUMMA stats report algo=%v c=%d", stats.Algo, stats.Replication)
+	}
+
+	// AutoTune decides the family; the result must not change.
+	got, stats, err = cluster.MultiplyDense(a, b, spgemm.Options{AutoTune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spgemm.DenseEqual(got, want) {
+		t.Error("autotuned dense multiply differs from serial reference")
+	}
+	if stats.Algo != spgemm.AlgoSUMMA && stats.Replication < 1 {
+		t.Errorf("autotune picked %v with replication %d", stats.Algo, stats.Replication)
+	}
+}
