@@ -9,7 +9,7 @@ GO ?= go
 FUZZTIME ?= 30s
 GATE_TOL ?= 0.05
 
-.PHONY: all build test race vet doc bench cover fuzz perfgate baseline plan ci
+.PHONY: all build test race vet doc bench cover fuzz perfgate baseline plan serve soak ci
 
 # all: the tier-1 gate (build + test), the default target.
 all: build test
@@ -23,11 +23,13 @@ test:
 	$(GO) test ./...
 
 # race: the packages that run goroutines (simulated ranks in mpi/core,
-# worker threads in localmm) under the race detector, race workouts
-# included — the multithreaded kernels AND the Pipeline=true broadcast
-# prefetch paths (TestPipelinedSUMMARace) are exercised here.
+# worker threads in localmm, concurrent jobs in service) under the race
+# detector, race workouts included — the multithreaded kernels, the
+# Pipeline=true broadcast prefetch paths (TestPipelinedSUMMARace), and the
+# service concurrency workout (N clients racing the plan cache and the
+# admission scheduler) are exercised here.
 race:
-	$(GO) test -race ./internal/localmm ./internal/core ./internal/mpi
+	$(GO) test -race ./internal/localmm ./internal/core ./internal/mpi ./internal/service
 
 # vet: static analysis over every package.
 vet:
@@ -84,6 +86,19 @@ perfgate:
 # performance change. Review the diff before committing it.
 baseline:
 	$(GO) run ./cmd/spgemm-bench -gate -json BENCH_baseline.json
+
+# serve: run the multiply-as-a-service daemon locally (see SERVICE.md for
+# the API, `go run ./cmd/spgemmd -h` for the knobs). Ctrl-C stops it.
+serve:
+	$(GO) run ./cmd/spgemmd
+
+# soak: the service soak — a spgemmd server under concurrent mixed traffic,
+# asserting bit-identical outputs, zero probe work after warmup, and
+# deadlock-free admission. The nightly workflow runs this; point it at a
+# running daemon with `go run ./cmd/spgemm-bench -server URL` instead to
+# soak over real HTTP.
+soak:
+	$(GO) run ./cmd/spgemm-bench -exp service -scale tiny
 
 # plan: the planner-vs-oracle gate the nightly workflow enforces. The
 # analytical autotuner plans each gate workload, an exhaustive sweep

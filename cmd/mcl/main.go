@@ -7,6 +7,9 @@
 //	mcl -in graph.mtx                       # serial expansion
 //	mcl -in graph.mtx -procs 16 -layers 4   # distributed expansion
 //	mcl -in graph.mtx -procs 16 -mem 1e8    # with a memory budget (batching)
+//	mcl -in graph.mtx -server http://127.0.0.1:8347
+//	    # every expansion runs on a spgemmd daemon; iteration operands stay
+//	    # resident there and repeat runs replan from its cache
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"sort"
 
 	spgemm "repro"
+	"repro/internal/apps/mcl"
+	"repro/internal/service"
 )
 
 func main() {
@@ -27,10 +32,14 @@ func main() {
 		inflation = flag.Float64("inflation", 2, "inflation exponent")
 		topk      = flag.Int("topk", 64, "entries kept per column after pruning")
 		maxIter   = flag.Int("maxiter", 60, "maximum iterations")
+		server    = flag.String("server", "", "base URL of a running spgemmd; expansions run there as multiply-as-a-service jobs (mutually exclusive with -procs)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	if *server != "" && *procs > 0 {
+		fatal(fmt.Errorf("-server and -procs are mutually exclusive: the daemon's own -p decides the cluster size"))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -41,25 +50,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := spgemm.MCLConfig{
-		Inflation: *inflation,
-		TopK:      *topk,
-		MaxIter:   *maxIter,
-		MemBytes:  int64(*mem),
-	}
-	if *procs > 0 {
-		cfg.Cluster = spgemm.NewCluster(*procs, *layers)
-	}
-	res, err := spgemm.MarkovCluster(a, cfg)
-	if err != nil {
-		fatal(err)
+	var labels []int32
+	var numClusters, iterations int
+	var converged bool
+	if *server != "" {
+		cl := &service.Client{Base: *server}
+		r, err := mcl.ClusterVia(a, mcl.Config{Inflation: *inflation, TopK: *topk, MaxIter: *maxIter}, cl.MultiplyMatrices)
+		if err != nil {
+			fatal(err)
+		}
+		labels, numClusters, iterations, converged = r.Labels, r.NumClusters, len(r.Iters), r.Converged
+	} else {
+		cfg := spgemm.MCLConfig{
+			Inflation: *inflation,
+			TopK:      *topk,
+			MaxIter:   *maxIter,
+			MemBytes:  int64(*mem),
+		}
+		if *procs > 0 {
+			cfg.Cluster = spgemm.NewCluster(*procs, *layers)
+		}
+		res, err := spgemm.MarkovCluster(a, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		labels, numClusters, iterations, converged = res.Labels, res.NumClusters, res.Iterations, res.Converged
 	}
 	fmt.Printf("nodes=%d clusters=%d iterations=%d converged=%v\n",
-		a.Rows, res.NumClusters, res.Iterations, res.Converged)
+		a.Rows, numClusters, iterations, converged)
 
 	// Print clusters by decreasing size.
 	bySize := map[int32][]int32{}
-	for node, c := range res.Labels {
+	for node, c := range labels {
 		bySize[c] = append(bySize[c], int32(node))
 	}
 	ids := make([]int32, 0, len(bySize))

@@ -28,6 +28,10 @@
 //	spgemm-bench -plangate                 # planner-vs-oracle CI gate: exit 1
 //	    # when any pick is >10% (-tol) above the exhaustive sweep's best
 //
+//	spgemm-bench -server http://127.0.0.1:8347 -exp service -scale tiny
+//	    # spgemmd-client mode: drive a running spgemmd daemon with the
+//	    # service soak duty cycle instead of simulating in-process
+//
 // Scales: tiny (seconds), small (default), large (minutes).
 package main
 
@@ -42,6 +46,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/mpi"
+	"repro/internal/service"
 	"repro/internal/spmat"
 )
 
@@ -59,6 +64,7 @@ func main() {
 		gate     = flag.Bool("gate", false, "run the deterministic perf-regression gate on pinned fig-6/8 shapes instead of an experiment")
 		autotune = flag.Bool("autotune", false, "plan the gate shapes with the analytical autotuner, print each ranked plan, run the chosen configuration, and show the predicted-vs-measured per-step breakdown")
 		plangate = flag.Bool("plangate", false, "planner-vs-oracle gate: exit 1 when the planner's pick is more than -tol above the exhaustive sweep's best modeled critical path")
+		server   = flag.String("server", "", "spgemmd-client mode: base URL of a running spgemmd (e.g. http://127.0.0.1:8347); drives the remote daemon with the service soak instead of running in-process")
 		jsonPath = flag.String("json", "", "with -gate: write the stats dump (BENCH_pr3.json) to this path")
 		baseline = flag.String("baseline", "", "with -gate: compare against this checked-in baseline and exit nonzero on regression")
 		tol      = flag.Float64("tol", 0, "relative tolerance: modeled critical-path regression for -gate -baseline (default 5%), planner-vs-oracle gap for -plangate (default 10%); an explicit 0 means strict")
@@ -73,6 +79,15 @@ func main() {
 			tolSet = true
 		}
 	})
+
+	if *server != "" {
+		sc, err := experiments.ParseScale(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		runServiceClient(*server, sc)
+		return
+	}
 
 	if *gate {
 		gateTol := *tol
@@ -159,6 +174,28 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runServiceClient is the spgemmd-client mode: it drives a remote daemon
+// with the service soak duty cycle (load generated workloads, one sequential
+// warmup pass, then the concurrent mix) and renders the same report the
+// in-process experiment produces. The daemon's knobs (p, machine, budget)
+// are whatever it was started with; a warm daemon keeps its matrices and
+// plans, so a second invocation shows zero probe work end to end.
+func runServiceClient(base string, sc experiments.Scale) {
+	start := time.Now()
+	cl := &service.Client{Base: base}
+	if _, err := cl.Stats(); err != nil {
+		fatal(fmt.Errorf("cannot reach spgemmd at %s: %w", base, err))
+	}
+	rep, err := experiments.DriveService(cl, sc)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(remote soak against %s completed in %v)\n", base, time.Since(start).Round(time.Millisecond))
 }
 
 // runGate executes the pinned shapes, optionally dumps the JSON report, and

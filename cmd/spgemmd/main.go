@@ -1,0 +1,101 @@
+// Command spgemmd is the multiply-as-a-service daemon: it holds distributed
+// matrices resident across requests, caches planner decisions so repeat
+// multiplies skip probe work, and admits concurrent jobs under a shared
+// memory budget. The JSON-over-HTTP API (documented in SERVICE.md) exposes:
+//
+//	POST /load      make a matrix resident (wire bytes, Matrix Market text,
+//	                or a server-side deterministic generator)
+//	POST /plan      the (cached) planner decision for a resident pair
+//	POST /multiply  plan, admit, and execute one job
+//	GET  /stats     plan-cache, probe, admission, and job counters
+//	GET  /matrices  resident matrices and their fingerprints
+//
+// Usage:
+//
+//	spgemmd                                   # 16 ranks, Cori-KNL, :8347
+//	spgemmd -p 64 -mem 64MB -machine haswell  # bigger cluster, tight budget
+//	spgemmd -addr 127.0.0.1:9000 -threads 4
+//
+// Clients: `spgemm-bench -server URL -exp service` drives a soak workload;
+// `mcl -server URL`, the examples, and any HTTP client speak the same API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8347", "listen address")
+		p       = flag.Int("p", 16, "rank count every job runs on")
+		machine = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
+		memStr  = flag.String("mem", "", "aggregate memory budget shared by concurrent jobs, with optional suffix: 4GB, 512MB, 1e9 (empty = unconstrained)")
+		threads = flag.Int("threads", 1, "worker goroutines per rank in local kernels")
+	)
+	flag.Parse()
+
+	m, err := costmodel.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	mem, err := parseBytes(*memStr)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := service.New(service.Config{P: *p, Machine: m, MemBytes: mem, Threads: *threads})
+	if err != nil {
+		fatal(err)
+	}
+
+	log.Printf("spgemmd: serving on %s (p=%d machine=%s mem=%d threads=%d)", *addr, *p, m.Name, mem, *threads)
+	if err := http.ListenAndServe(*addr, service.Handler(svc)); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBytes parses a byte count with an optional decimal suffix (KB, MB,
+// GB, TB, or their KiB/MiB/… binary forms, case-insensitive); a bare number
+// may use any float syntax ("1e9"). Empty means zero (unconstrained).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := 1.0
+	for _, suf := range []struct {
+		tag string
+		f   float64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12}, {"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.tag) {
+			mult = suf.f
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.tag))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -mem %q (want e.g. 4GB, 512MB, 1e9)", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("bad -mem %q: negative", s)
+	}
+	return int64(v * mult), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spgemmd:", err)
+	os.Exit(1)
+}

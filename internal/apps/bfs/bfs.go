@@ -12,6 +12,7 @@ package bfs
 import (
 	"fmt"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/localmm"
 	"repro/internal/semiring"
@@ -44,16 +45,32 @@ func newLevels(n, s int32) *Levels {
 // adj (edges column→row, i.e. adj(i,j)≠0 means j→i; symmetric matrices give
 // undirected BFS). The expansion product runs serially.
 func MultiSourceSerial(adj *spmat.CSC, sources []int32) (*Levels, error) {
-	return multiSource(adj, sources, nil)
+	sr := semiring.BoolOrAnd()
+	return multiSource(adj, sources, func(a, f *spmat.CSC) (*spmat.CSC, error) {
+		return localmm.HashSpGEMMSorted(a, f, sr), nil
+	})
 }
 
 // MultiSourceDistributed runs the same search with every frontier expansion
 // executed by BatchedSUMMA3D on the simulated cluster.
 func MultiSourceDistributed(adj *spmat.CSC, sources []int32, rc core.RunConfig) (*Levels, error) {
-	return multiSource(adj, sources, &rc)
+	return multiSource(adj, sources, func(a, f *spmat.CSC) (*spmat.CSC, error) {
+		next, _, _, err := core.Multiply(a, f, rc, nil)
+		return next, err
+	})
 }
 
-func multiSource(adj *spmat.CSC, sources []int32, rc *core.RunConfig) (*Levels, error) {
+// MultiSourceVia runs the search with every frontier expansion delegated to
+// mul over the bool-or-and semiring — typically
+// (*service.Client).MultiplyMatrices against a spgemmd daemon holding the
+// adjacency matrix resident, so each depth's product replans from cache.
+func MultiSourceVia(adj *spmat.CSC, sources []int32, mul apps.MultiplyFunc) (*Levels, error) {
+	return multiSource(adj, sources, func(a, f *spmat.CSC) (*spmat.CSC, error) {
+		return mul(a, f, "bool-or-and")
+	})
+}
+
+func multiSource(adj *spmat.CSC, sources []int32, expand func(adj, frontier *spmat.CSC) (*spmat.CSC, error)) (*Levels, error) {
 	if adj.Rows != adj.Cols {
 		return nil, fmt.Errorf("bfs: adjacency matrix must be square, got %v", adj)
 	}
@@ -78,19 +95,10 @@ func multiSource(adj *spmat.CSC, sources []int32, rc *core.RunConfig) (*Levels, 
 	if err != nil {
 		return nil, err
 	}
-	sr := semiring.BoolOrAnd()
 	for depth := int32(1); frontier.NNZ() > 0 && depth <= n; depth++ {
-		var next *spmat.CSC
-		if rc == nil {
-			next = localmm.HashSpGEMMSorted(adj, frontier, sr)
-		} else {
-			var results []*core.Result
-			var err error
-			next, results, _, err = core.Multiply(adj, frontier, *rc, nil)
-			if err != nil {
-				return nil, err
-			}
-			_ = results
+		next, err := expand(adj, frontier)
+		if err != nil {
+			return nil, err
 		}
 		// Mask: keep only newly discovered (vertex, source) pairs.
 		next.Filter(func(v, s int32, _ float64) bool {

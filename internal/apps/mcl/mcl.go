@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/localmm"
 	"repro/internal/mpi"
@@ -85,6 +86,25 @@ type Result struct {
 // Cluster runs Markov clustering on the (symmetric, non-negative) similarity
 // matrix a.
 func Cluster(a *spmat.CSC, cfg Config) (*Result, error) {
+	return cluster(a, cfg, func(m *spmat.CSC, cfg Config) (*spmat.CSC, int, *mpi.Summary, error) {
+		return expand(m, cfg)
+	})
+}
+
+// ClusterVia runs the same iteration with every expansion delegated to mul —
+// typically (*service.Client).MultiplyMatrices, so a spgemmd daemon holding
+// the stochastic matrix resident does the SpGEMM and its plan cache makes
+// every expansion after the first probe-free. cfg.Dist is ignored; pruning
+// happens client-side after each product (the hook-based in-flight prune is
+// an engine-local optimization).
+func ClusterVia(a *spmat.CSC, cfg Config, mul apps.MultiplyFunc) (*Result, error) {
+	return cluster(a, cfg, func(m *spmat.CSC, _ Config) (*spmat.CSC, int, *mpi.Summary, error) {
+		c, err := mul(m, m, "plus-times")
+		return c, 1, nil, err
+	})
+}
+
+func cluster(a *spmat.CSC, cfg Config, expand func(*spmat.CSC, Config) (*spmat.CSC, int, *mpi.Summary, error)) (*Result, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("mcl: matrix must be square, got %v", a)
 	}

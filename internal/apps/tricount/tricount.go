@@ -9,6 +9,7 @@ package tricount
 import (
 	"fmt"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/genmat"
 	"repro/internal/localmm"
@@ -40,6 +41,25 @@ func CountSerialUnmasked(adj *spmat.CSC) (int64, error) {
 	l := genmat.LowerTriangle(adj)
 	u := genmat.UpperTriangle(adj)
 	wedges := localmm.Multiply(l, u, semiring.PlusTimes())
+	masked := spmat.Mask(wedges, l)
+	return int64(masked.Sum() + 0.5), nil
+}
+
+// CountVia counts triangles with the L·U product delegated to mul —
+// typically (*service.Client).MultiplyMatrices against a spgemmd daemon, so
+// repeat counts on a resident graph skip probe work. The wedge matrix comes
+// back whole (the batch-by-batch mask is an engine-local optimization) and
+// is masked client-side.
+func CountVia(adj *spmat.CSC, mul apps.MultiplyFunc) (int64, error) {
+	if adj.Rows != adj.Cols {
+		return 0, fmt.Errorf("tricount: adjacency matrix must be square, got %v", adj)
+	}
+	l := genmat.LowerTriangle(adj)
+	u := genmat.UpperTriangle(adj)
+	wedges, err := mul(l, u, "plus-times")
+	if err != nil {
+		return 0, err
+	}
 	masked := spmat.Mask(wedges, l)
 	return int64(masked.Sum() + 0.5), nil
 }

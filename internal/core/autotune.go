@@ -43,8 +43,25 @@ func AutoTuneConfig(a, b *spmat.CSC, rc RunConfig) (RunConfig, *planner.Plan, er
 // callers (the spgemm facade, the experiment harness) that scale reported
 // comm seconds by it.
 func AutoTuneOnMachine(a, b *spmat.CSC, rc RunConfig, m costmodel.Machine) (RunConfig, *planner.Plan, error) {
+	pl, err := planner.New(a, b, PlanInput(rc, m))
+	if err != nil {
+		return rc, nil, err
+	}
+	best := pl.Best()
+	if best == nil {
+		return rc, pl, fmt.Errorf("core: autotune found no feasible configuration under the %d-byte budget", rc.Opts.withDefaults().MemBytes)
+	}
+	rc, err = ApplyChoice(rc, best.Choice())
+	return rc, pl, err
+}
+
+// PlanInput returns the planner Input AutoTuneOnMachine decides under for
+// this run configuration and machine — exported so callers that cache
+// planner decisions (the serving layer) can key the cache on exactly the
+// knobs that shape the decision, via planner.CacheKey.
+func PlanInput(rc RunConfig, m costmodel.Machine) planner.Input {
 	opts := rc.Opts.withDefaults()
-	pl, err := planner.New(a, b, planner.Input{
+	return planner.Input{
 		P:           rc.P,
 		MemBytes:    opts.MemBytes,
 		Machine:     m,
@@ -56,26 +73,32 @@ func AutoTuneOnMachine(a, b *spmat.CSC, rc RunConfig, m costmodel.Machine) (RunC
 		// ≤ on's by construction (it takes subsets exactly where they win),
 		// so on can never be the optimum.
 		SparseComms: []mpi.SparseMode{mpi.SparseOff, mpi.SparseAuto},
-	})
+	}
+}
+
+// ApplyChoice rewrites rc to a previously-made planner decision without any
+// probe or sweep — the execution half of AutoTuneOnMachine, reusable with a
+// cached Choice. The batch count is handled by authority, exactly like a
+// fresh autotune: under a memory budget ForceBatches stays unset so the
+// distributed symbolic step makes the real decision; without one the
+// choice's induced b (always 1) is pinned.
+func ApplyChoice(rc RunConfig, ch planner.Choice) (RunConfig, error) {
+	cfg, err := ch.Config()
 	if err != nil {
-		return rc, nil, err
+		return rc, err
 	}
-	best := pl.Best()
-	if best == nil {
-		return rc, pl, fmt.Errorf("core: autotune found no feasible configuration under the %d-byte budget", opts.MemBytes)
-	}
-	rc.L = best.L
+	rc.L = cfg.L
 	rc.Opts.AutoTune = false
-	if opts.MemBytes > 0 {
+	if rc.Opts.withDefaults().MemBytes > 0 {
 		rc.Opts.ForceBatches = 0
 		rc.Opts.RunSymbolic = true
 	} else {
-		rc.Opts.ForceBatches = best.B
+		rc.Opts.ForceBatches = cfg.B
 	}
-	rc.Opts.Format = best.Format
-	rc.Opts.Pipeline = best.Pipeline
-	rc.Opts.SparseComm = best.SparseComm
-	return rc, pl, nil
+	rc.Opts.Format = cfg.Format
+	rc.Opts.Pipeline = cfg.Pipeline
+	rc.Opts.SparseComm = cfg.SparseComm
+	return rc, nil
 }
 
 // AutoTuneDenseConfig consults the sparse×dense planner and returns a copy

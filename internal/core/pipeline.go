@@ -2,8 +2,6 @@ package core
 
 import (
 	"sort"
-
-	"repro/internal/mpi"
 )
 
 // overlapLedger is the per-rank accounting that decides how much modeled
@@ -127,12 +125,12 @@ type pipeState struct {
 	hasNext bool
 }
 
-// measure runs fn under the global compute token and advances the overlap
+// measure runs fn under this run's compute token and advances the overlap
 // ledger by its wall time, so split collectives posted before fn can claim it
 // as hiding credit. In the staged schedule the ledger advance is inert: posts
 // and waits are adjacent, so no request ever has a nonzero window.
 func (p *Proc) measure(fn func()) float64 {
-	sec := mpi.MeasureCompute(fn)
+	sec := p.G.World.MeasureCompute(fn)
 	p.pipe.ledger.advance(sec)
 	return sec
 }

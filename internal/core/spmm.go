@@ -69,7 +69,7 @@ type denseProc struct {
 // measure times fn as local compute and advances the overlap ledger so
 // in-flight shifts accumulate credit.
 func (p *denseProc) measure(fn func()) float64 {
-	sec := mpi.MeasureCompute(fn)
+	sec := p.g.World.MeasureCompute(fn)
 	p.led.advance(sec)
 	return sec
 }

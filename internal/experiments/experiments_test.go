@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"hypersparse", "pipeline", "planner", "sparsecomm", "spmm",
+		"hypersparse", "pipeline", "planner", "service", "sparsecomm", "spmm",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -47,13 +47,13 @@ func TestListOrdered(t *testing.T) {
 	if ids[len(ids)-2].ID != "sparsecomm" {
 		t.Errorf("second to last is %s", ids[len(ids)-2].ID)
 	}
-	if ids[len(ids)-3].ID != "planner" {
+	if ids[len(ids)-3].ID != "service" {
 		t.Errorf("third to last is %s", ids[len(ids)-3].ID)
 	}
-	if ids[len(ids)-4].ID != "pipeline" {
+	if ids[len(ids)-4].ID != "planner" {
 		t.Errorf("fourth to last is %s", ids[len(ids)-4].ID)
 	}
-	if ids[len(ids)-5].ID != "hypersparse" {
+	if ids[len(ids)-5].ID != "pipeline" {
 		t.Errorf("fifth to last is %s", ids[len(ids)-5].ID)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mpi"
 	"repro/internal/planner"
+	"repro/internal/service"
 	"repro/internal/spmat"
 )
 
@@ -327,14 +328,20 @@ func planShapeInputs(sh planShape, sc Scale) (a, b *spmat.CSC, machine costmodel
 // planFor runs the planner on a prepared shape, with the gate's pinned
 // work-unit rate so planner scores and oracle scores share the objective.
 func planFor(a, b *spmat.CSC, p int, machine costmodel.Machine, mem int64) (*planner.Plan, error) {
-	return planner.New(a, b, planner.Input{
+	return planner.New(a, b, planGateInput(p, machine, mem))
+}
+
+// planGateInput is the planner input the gate shapes use — shared with the
+// cached-plan pass so its cache keys describe the same decision.
+func planGateInput(p int, machine costmodel.Machine, mem int64) planner.Input {
+	return planner.Input{
 		P:           p,
 		MemBytes:    mem,
 		Machine:     machine,
 		Symbolic:    true,
 		SecPerWork:  GateSecPerWorkUnit,
 		SparseComms: []mpi.SparseMode{mpi.SparseOff, mpi.SparseAuto},
-	})
+	}
 }
 
 // oracleBSet is the batch sweep of the oracle, always including the
@@ -358,6 +365,7 @@ func oracleBSet(pick int) []int {
 // path exceeds the oracle's best by more than tol.
 func PlanGate(sc Scale, tol float64) ([]string, error) {
 	var bad []string
+	planCache := service.NewPlanCache()
 	for _, sh := range planShapes {
 		a, b, machine, mem, err := planShapeInputs(sh, sc)
 		if err != nil {
@@ -395,6 +403,26 @@ func PlanGate(sc Scale, tol float64) ([]string, error) {
 			bad = append(bad, fmt.Sprintf("%s: pick %s models %.6g s, oracle best %s models %.6g s — %.1f%% above (tolerance %.0f%%)",
 				sh.name, pick.Config, got.ModelSeconds, best.Cfg, best.ModelSeconds,
 				100*(got.ModelSeconds/best.ModelSeconds-1), 100*tol))
+		}
+
+		// Cached-plan pass: the same decision served through the service's
+		// plan cache must miss exactly once, hit on the replan, and return
+		// the identical pick — so the cached path inherits the oracle bound
+		// just established for the fresh one.
+		key := planner.CacheKey(spmat.FingerprintOf(a).Key(), spmat.FingerprintOf(b).Key(),
+			planGateInput(sh.p, machine, mem))
+		fresh := pick.Choice()
+		for pass, wantHit := range []bool{false, true} {
+			cached, hit, err := planCache.PlanThrough(key, func() (planner.Choice, error) { return fresh, nil })
+			if err != nil {
+				return nil, err
+			}
+			if hit != wantHit {
+				bad = append(bad, fmt.Sprintf("%s: cached-plan pass %d: cache hit=%v, want %v", sh.name, pass+1, hit, wantHit))
+			}
+			if cached != fresh {
+				bad = append(bad, fmt.Sprintf("%s: cached plan %s differs from fresh pick %s", sh.name, cached, fresh))
+			}
 		}
 	}
 	for _, sh := range densePlanShapes {

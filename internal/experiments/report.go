@@ -1,8 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation section on the simulated cluster. Each experiment is registered
-// under the paper's identifier (fig3 … fig15, table2 … table7) and produces a
-// textual Report with the same rows/series the paper plots, plus an expected
-// qualitative shape so EXPERIMENTS.md can record paper-vs-measured.
 package experiments
 
 import (

@@ -1,0 +1,21 @@
+// Package genmat generates the synthetic stand-ins for the paper's datasets
+// (Table V). The real matrices — Metaclust50 (282M×282M, 37B nnz), Isolates,
+// Friendster, Eukarya, Rice-kmers, Metaclust20m — are far beyond a single
+// host, so each generator reproduces the *regime* that matters for batched
+// SpGEMM at a configurable scale:
+//
+//   - R-MAT power-law graphs (Friendster-like social networks);
+//   - symmetrized, weighted R-MAT with self loops (protein-similarity
+//     networks: Eukarya / Isolates / Metaclust analogues, the HipMCL inputs);
+//   - Erdős–Rényi uniform graphs (load-balanced baseline);
+//   - rectangular reads×k-mers incidence matrices with ~2 nonzeros per k-mer
+//     column (Rice-kmers / Metaclust20m analogues for AAᵀ overlap detection);
+//   - tall-skinny dense-ish panels (the sparse×dense SpMM regime);
+//   - graph-derived helpers (lower/upper triangles for triangle counting).
+//
+// All generators are deterministic in their seed: the same parameters give
+// byte-identical matrices on every host, which is what lets the perf gates
+// pin workloads, the experiments assert bit-identical outputs, and the
+// spgemmd service synthesize operands server-side (service.GeneratorSpec)
+// with fingerprints that match client-side generation.
+package genmat

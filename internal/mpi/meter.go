@@ -5,28 +5,47 @@ import (
 	"time"
 )
 
-// computeGate serializes timed kernel execution across all ranks. Without
-// it, hundreds of goroutine ranks time-share a few host cores and every
-// measured kernel time is inflated by scheduler contention, which would
-// destroy the strong-scaling shapes (per-rank compute must shrink as p
+// computeGate serializes timed kernel execution across the ranks of one
+// Run. Without it, hundreds of goroutine ranks time-share a few host cores
+// and every measured kernel time is inflated by scheduler contention, which
+// would destroy the strong-scaling shapes (per-rank compute must shrink as p
 // grows). Capacity is deliberately 1, not NumCPU: while one rank computes,
-// every other rank is parked (in a barrier or on this gate), so the token
-// holder is effectively alone on the machine and its wall time is clean.
-// Queue wait is excluded from the measured time. The per-thread CPU clock
-// would be the ideal measurement, but its resolution is the scheduler tick
-// (10 ms on typical VMs) — far too coarse for microsecond kernels.
-var computeGate = make(chan struct{}, 1)
+// every other rank of its world is parked (in a barrier or on this gate), so
+// the token holder is effectively alone on the machine and its wall time is
+// clean. Queue wait is excluded from the measured time. The per-thread CPU
+// clock would be the ideal measurement, but its resolution is the scheduler
+// tick (10 ms on typical VMs) — far too coarse for microsecond kernels.
+//
+// The gate is deliberately per-world, not package-global: a long-running
+// service executes independent multiply jobs concurrently, and a shared
+// token would falsely serialize unrelated jobs against each other (and make
+// one job's measured times depend on another job's schedule). Each Run
+// creates its own gate; Split children share their world's.
+type computeGate chan struct{}
 
-// MeasureCompute runs fn while holding the compute token and returns fn's
-// wall time (excluding the wait for the token). fn must not perform
-// collectives: a rank blocked in a barrier while holding the token would
-// starve the ranks it is waiting for.
-func MeasureCompute(fn func()) float64 {
-	computeGate <- struct{}{}
-	defer func() { <-computeGate }()
+func newComputeGate() computeGate { return make(computeGate, 1) }
+
+func (g computeGate) measure(fn func()) float64 {
+	g <- struct{}{}
+	defer func() { <-g }()
 	t0 := time.Now()
 	fn()
 	return time.Since(t0).Seconds()
+}
+
+// standaloneGate serves the package-level MeasureCompute, for callers timing
+// kernels outside any Run (benchmarks, host-side reference multiplies).
+var standaloneGate = newComputeGate()
+
+// MeasureCompute runs fn while holding the process-wide standalone compute
+// token and returns fn's wall time (excluding the wait for the token). fn
+// must not perform collectives: a rank blocked in a barrier while holding
+// the token would starve the ranks it is waiting for. Code running inside a
+// Run must use Comm.MeasureCompute instead, which holds the run's own token
+// so concurrent Runs (independent service jobs) never serialize against
+// each other.
+func MeasureCompute(fn func()) float64 {
+	return standaloneGate.measure(fn)
 }
 
 // Meter accumulates, per rank, the communication volume and modeled time of

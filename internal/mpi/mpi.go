@@ -173,6 +173,21 @@ type Comm struct {
 	// pool recycles request structs, receive slices, and wire buffers; one
 	// per Comm handle, touched only by the owning rank's goroutine.
 	pool *commPool
+	// gate is the per-world compute-measurement token (see meter.go). All
+	// communicators derived from one Run share their world's gate, so timed
+	// kernels serialize within a run without coupling concurrent runs.
+	gate computeGate
+}
+
+// MeasureCompute runs fn while holding this run's compute token and returns
+// fn's wall time (excluding the wait for the token). fn must not perform
+// collectives: a rank blocked in a barrier while holding the token would
+// starve the ranks it is waiting for. The token is scoped to the world this
+// communicator descends from, so concurrent Runs never serialize against
+// each other and one run's measured times do not depend on another's
+// schedule.
+func (c *Comm) MeasureCompute(fn func()) float64 {
+	return c.gate.measure(fn)
 }
 
 // Rank returns this rank's id within the communicator (0-based).
@@ -336,7 +351,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	c.Barrier() // staging area reusable afterwards
 	return &Comm{
 		rank: myIdx, size: len(members), core: core, cost: c.cost, meter: c.meter,
-		pending: c.pending, pool: &commPool{},
+		pending: c.pending, pool: &commPool{}, gate: c.gate,
 	}
 }
 
@@ -351,6 +366,7 @@ func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
 	meters := make([]*Meter, p)
 	errs := make([]any, p)
 	pendings := make([]int64, p)
+	gate := newComputeGate()
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		meters[r] = NewMeter()
@@ -365,7 +381,7 @@ func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
 			}()
 			fn(&Comm{
 				rank: r, size: p, core: core, cost: cm, meter: meters[r],
-				pending: &pendings[r], pool: &commPool{},
+				pending: &pendings[r], pool: &commPool{}, gate: gate,
 			})
 		}(r)
 	}

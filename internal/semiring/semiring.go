@@ -4,7 +4,10 @@
 // this repository therefore take a *Semiring rather than hard-coding (+, ×).
 package semiring
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Semiring is a commutative monoid (Add, Zero) paired with a multiplicative
 // operation (Mul, One). Zero must be the additive identity and an annihilator
@@ -107,4 +110,23 @@ func PlusPairs() *Semiring {
 		Zero: 0,
 		One:  1,
 	}
+}
+
+// ByName returns the named semiring, accepting the Name spellings of the
+// constructors above. Callers that accept semiring names over an API (the
+// serving layer) resolve them here so error messages list the known algebras.
+func ByName(name string) (*Semiring, error) {
+	switch name {
+	case "", "plus-times":
+		return PlusTimes(), nil
+	case "min-plus":
+		return MinPlus(), nil
+	case "max-min":
+		return MaxMin(), nil
+	case "bool-or-and":
+		return BoolOrAnd(), nil
+	case "plus-pairs":
+		return PlusPairs(), nil
+	}
+	return nil, fmt.Errorf("semiring: unknown %q (want plus-times, min-plus, max-min, bool-or-and, or plus-pairs)", name)
 }

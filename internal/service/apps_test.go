@@ -1,0 +1,150 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/bfs"
+	"repro/internal/apps/mcl"
+	"repro/internal/apps/tricount"
+	"repro/internal/genmat"
+	"repro/internal/spmat"
+)
+
+// The apps-as-clients port: MCL, BFS, and triangle counting run their
+// products through the HTTP client and must match the serial engines; a
+// repeat run of the same app must add zero probe work because every
+// iteration's (deterministic) operand pair replans from cache.
+func startAppsServer(t *testing.T) (*Client, *Service) {
+	t.Helper()
+	// Unconstrained budget: the apps test exercises the client path and
+	// plan-cache amortization, not admission.
+	cl, s := startServer(t, Config{P: 4})
+	return cl, s
+}
+
+func TestTricountViaService(t *testing.T) {
+	adj := genmat.RMAT(genmat.RMATConfig{Scale: 5, EdgeFactor: 6, Symmetrize: true, Seed: 3})
+	cl, s := startAppsServer(t)
+
+	want, err := tricount.CountSerial(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tricount.CountVia(adj, cl.MultiplyMatrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("service count %d, want %d", got, want)
+	}
+	probes := s.Stats().Probes
+	if again, err := tricount.CountVia(adj, cl.MultiplyMatrices); err != nil || again != want {
+		t.Fatalf("repeat count: got %d err %v", again, err)
+	}
+	if st := s.Stats(); st.Probes != probes {
+		t.Fatalf("repeat count added probe work: %d -> %d", probes, st.Probes)
+	}
+}
+
+func TestBFSViaService(t *testing.T) {
+	adj := genmat.RMAT(genmat.RMATConfig{Scale: 5, EdgeFactor: 4, Symmetrize: true, Seed: 9})
+	// bool-or-and needs a 0/1 adjacency.
+	adj.Filter(func(_, _ int32, _ float64) bool { return true })
+	for i := range adj.Val {
+		adj.Val[i] = 1
+	}
+	sources := []int32{0, 3, 17}
+	cl, s := startAppsServer(t)
+
+	want, err := bfs.MultiSourceSerial(adj, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bfs.MultiSourceVia(adj, sources, cl.MultiplyMatrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < adj.Rows; v++ {
+		for si := range sources {
+			if got.At(v, int32(si)) != want.At(v, int32(si)) {
+				t.Fatalf("level(%d, %d) = %d, want %d", v, si, got.At(v, int32(si)), want.At(v, int32(si)))
+			}
+		}
+	}
+	// Same search again: every depth's (adj, frontier) pair is already
+	// planned, so no probes are added.
+	probes := s.Stats().Probes
+	if _, err := bfs.MultiSourceVia(adj, sources, cl.MultiplyMatrices); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Probes != probes {
+		t.Fatalf("repeat BFS added probe work: %d -> %d", probes, st.Probes)
+	}
+}
+
+func TestMCLViaService(t *testing.T) {
+	// Two cliques joined by one weak edge — the canonical two-cluster case.
+	var ts []spmat.Triple
+	clique := func(lo, hi int32) {
+		for i := lo; i < hi; i++ {
+			for j := lo; j < hi; j++ {
+				if i != j {
+					ts = append(ts, spmat.Triple{Row: i, Col: j, Val: 1})
+				}
+			}
+		}
+	}
+	clique(0, 5)
+	clique(5, 10)
+	ts = append(ts, spmat.Triple{Row: 0, Col: 5, Val: 0.1}, spmat.Triple{Row: 5, Col: 0, Val: 0.1})
+	a, err := spmat.FromTriples(10, 10, ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, s := startAppsServer(t)
+
+	cfg := mcl.Config{}
+	got, err := mcl.ClusterVia(a, cfg, cl.MultiplyMatrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters != 2 || !got.Converged {
+		t.Fatalf("clusters=%d converged=%v, want 2/true", got.NumClusters, got.Converged)
+	}
+	if got.Labels[0] == got.Labels[9] {
+		t.Fatalf("the two cliques landed in one cluster")
+	}
+
+	// The iteration is deterministic, so a second clustering replays the
+	// same expansion operands: all plans hit, zero probes added.
+	probes := s.Stats().Probes
+	again, err := mcl.ClusterVia(a, cfg, cl.MultiplyMatrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumClusters != got.NumClusters || len(again.Iters) != len(got.Iters) {
+		t.Fatalf("repeat clustering diverged")
+	}
+	if st := s.Stats(); st.Probes != probes {
+		t.Fatalf("repeat clustering added probe work: %d -> %d", probes, st.Probes)
+	}
+}
+
+// The serial MultiplyFunc adapter agrees with the service path, so the Via
+// variants are engine-agnostic.
+func TestSerialAdapterMatchesService(t *testing.T) {
+	adj := genmat.RMAT(genmat.RMATConfig{Scale: 5, EdgeFactor: 6, Symmetrize: true, Seed: 12})
+	cl, _ := startAppsServer(t)
+	nSerial, err := tricount.CountVia(adj, apps.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nService, err := tricount.CountVia(adj, cl.MultiplyMatrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSerial != nService {
+		t.Fatalf("serial adapter %d vs service %d", nSerial, nService)
+	}
+}

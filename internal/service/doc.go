@@ -1,0 +1,35 @@
+// Package service is the serving layer: a long-running multiply-as-a-service
+// engine that holds distributed matrices resident across requests, caches
+// planner decisions, and admits concurrent multiply jobs under a shared
+// memory budget.
+//
+// Three pieces compose, in request order:
+//
+//   - Registry keeps loaded matrices resident by name, each with its
+//     content fingerprint (spmat.Fingerprint). Loading the same content
+//     under the same name is a no-op, so iterated clients (an MCL loop, a
+//     BFS frontier sweep) re-"load" freely.
+//
+//   - PlanCache memoizes planner decisions keyed by
+//     planner.CacheKey(fingerprintA, fingerprintB, machine, knobs). The
+//     first multiply of a pair pays the probe and the full candidate sweep;
+//     every repeat skips straight to execution with the cached
+//     planner.Choice. Single-flight semantics: concurrent requests for one
+//     key plan once, the rest wait for the result.
+//
+//   - Scheduler admits jobs FIFO under the service's aggregate MemBytes
+//     budget, reserving each job's predicted peak footprint (the planner's
+//     per-rank high-water mark × ranks — the same symbolic batch-footprint
+//     decision that sizes a run's batches). Jobs that don't fit queue
+//     instead of OOMing; a job too large for the whole budget runs alone.
+//
+// Service ties them together and executes admitted jobs on the simulated
+// cluster via core.Multiply. Every job runs a fresh mpi.Run world with its
+// own compute-measurement gate, so concurrent jobs never share mutable
+// engine state and outputs are bit-identical to one-shot runs.
+//
+// Server exposes the whole thing over JSON HTTP (/load, /plan, /multiply,
+// /stats, /matrices; see SERVICE.md for the wire contract), and Client is
+// the matching Go client whose MultiplyFunc adapter lets the example apps
+// (MCL, BFS, triangle counting) run their inner products against a server.
+package service

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sync"
+)
+
+// Scheduler admits jobs under a shared aggregate memory budget. Each job
+// arrives with a reservation — its predicted peak footprint, the planner's
+// per-rank high-water mark times the rank count — and runs only while the
+// sum of admitted reservations stays within the budget. Jobs that don't fit
+// wait in strict FIFO order (a ticket queue), so a stream of small jobs can
+// never starve a large one: the large job becomes head-of-line, the jobs
+// ahead of it drain, and it is admitted as soon as the budget frees up.
+//
+// A job whose reservation exceeds the whole budget can never "fit"; it is
+// admitted alone — when nothing else is running — and relies on the
+// engine's own memory-constrained batching to stay within real limits.
+// That rule keeps the scheduler deadlock-free: the head ticket always
+// eventually runs.
+//
+// A budget of 0 means unconstrained: every job is admitted immediately.
+type Scheduler struct {
+	budget int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	used    int64  // sum of admitted reservations
+	running int    // admitted, not yet released
+	next    uint64 // next ticket to hand out
+	serving uint64 // ticket currently at the head of the queue
+	// peakQueued tracks the deepest the wait queue has been (stats).
+	queued     int
+	peakQueued int
+}
+
+// NewScheduler returns a scheduler enforcing the given aggregate budget in
+// bytes (0 = unconstrained).
+func NewScheduler(budget int64) *Scheduler {
+	s := &Scheduler{budget: budget}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire blocks until the job's reservation is admitted, then returns the
+// release function the job must call (once) when it finishes. queued
+// reports whether the job had to wait.
+func (s *Scheduler) Acquire(reserve int64) (release func(), queued bool) {
+	if reserve < 0 {
+		reserve = 0
+	}
+	if s.budget <= 0 {
+		return func() {}, false
+	}
+	s.mu.Lock()
+	ticket := s.next
+	s.next++
+	for !s.admissible(ticket, reserve) {
+		if !queued {
+			queued = true
+			s.queued++
+			if s.queued > s.peakQueued {
+				s.peakQueued = s.queued
+			}
+		}
+		s.cond.Wait()
+	}
+	if queued {
+		s.queued--
+	}
+	s.serving++
+	s.used += reserve
+	s.running++
+	// Waking everyone keeps the logic simple; the new head re-checks and the
+	// rest go back to sleep. Queue depths here are request counts, not ranks.
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.used -= reserve
+		s.running--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}, queued
+}
+
+// admissible reports whether the ticket may run now: it must be the head of
+// the FIFO queue and either fit in the remaining budget or — for a
+// reservation larger than the whole budget — have the machine to itself.
+func (s *Scheduler) admissible(ticket uint64, reserve int64) bool {
+	if ticket != s.serving {
+		return false
+	}
+	if s.used+reserve <= s.budget {
+		return true
+	}
+	return reserve > s.budget && s.running == 0
+}
+
+// PeakQueued returns the deepest the wait queue has been.
+func (s *Scheduler) PeakQueued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakQueued
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/genmat"
+	"repro/internal/spmat"
+)
+
+// startServer runs a service behind httptest and returns a client on it.
+func startServer(t *testing.T, cfg Config) (*Client, *Service) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	return &Client{Base: srv.URL, HTTP: srv.Client()}, s
+}
+
+// The full client/server loop: load (wire, generator, mtx), plan, multiply
+// with an exact result, stats, matrices.
+func TestServerEndToEnd(t *testing.T) {
+	a := genmat.RMAT(genmat.RMATConfig{Scale: 6, EdgeFactor: 8, Seed: 21, Weighted: true})
+	cl, s := startServer(t, testConfig(t, a))
+
+	// Wire-format load round-trips the fingerprint and is idempotent.
+	lr, err := cl.Load("a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Fingerprint.ContentEqual(spmat.FingerprintOf(a)) {
+		t.Fatalf("fingerprint mismatch over the wire")
+	}
+	if lr.AlreadyLoaded {
+		t.Fatalf("first load reported already_loaded")
+	}
+	if lr, err = cl.Load("a", a); err != nil || !lr.AlreadyLoaded {
+		t.Fatalf("idempotent reload: already=%v err=%v", lr.AlreadyLoaded, err)
+	}
+
+	// Server-side generation with identical parameters lands on the same
+	// fingerprint as local generation.
+	gen, err := cl.LoadGenerated("gen", GeneratorSpec{Kind: "rmat", Scale: 6, EdgeFactor: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := genmat.RMAT(genmat.RMATConfig{Scale: 6, EdgeFactor: 8, Seed: 21, Weighted: true})
+	if gen.Fingerprint.Hash != spmat.FingerprintOf(local).Hash {
+		t.Fatalf("server-side generator is not deterministic vs local")
+	}
+
+	// Matrix Market text load.
+	var mm bytes.Buffer
+	if err := spmat.WriteMatrixMarket(&mm, genmat.ER(16, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.do("POST", "/load", LoadRequest{Name: "mtx", Mtx: mm.String()}, new(LoadResponse)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plan, then multiply: the multiply reuses the plan (cache hit).
+	pr, err := cl.Plan("a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CacheHit {
+		t.Fatalf("first plan must miss")
+	}
+	resp, c, err := cl.Multiply(MultiplyRequest{A: "a", B: "a", ReturnResult: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Plan.CacheHit {
+		t.Fatalf("multiply after plan must hit the cache")
+	}
+	want := oneShot(t, a, a, s.cfg)
+	if !bytes.Equal(c.Serialize(), want.Serialize()) {
+		t.Fatalf("HTTP result is not bit-identical to the one-shot run")
+	}
+	if resp.NNZ != want.NNZ() {
+		t.Fatalf("response nnz %d, want %d", resp.NNZ, want.NNZ())
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes != 1 || st.Multiplies != 1 {
+		t.Fatalf("stats: probes=%d multiplies=%d", st.Probes, st.Multiplies)
+	}
+	mats, err := cl.Matrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) != 3 {
+		t.Fatalf("want 3 resident matrices, got %d", len(mats))
+	}
+}
+
+// MultiplyMatrices (the apps' client path) must reuse resident slots across
+// calls: the second identical product adds no probe work.
+func TestClientMultiplyMatrices(t *testing.T) {
+	a := genmat.ER(64, 6, 9)
+	cl, s := startServer(t, testConfig(t, a))
+	c1, err := cl.MultiplyMatrices(a, a, "plus-times")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cl.MultiplyMatrices(a, a, "plus-times")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Serialize(), c2.Serialize()) {
+		t.Fatalf("repeat product differs")
+	}
+	if st := s.Stats(); st.Probes != 1 || st.Matrices != 1 {
+		t.Fatalf("stats after repeat: probes=%d matrices=%d", st.Probes, st.Matrices)
+	}
+}
+
+// Error paths map to the documented status codes.
+func TestServerErrorCodes(t *testing.T) {
+	a := genmat.ER(32, 4, 4)
+	cl, _ := startServer(t, testConfig(t, a))
+	if _, err := cl.Load("a", a); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(err error, status int, code string) {
+		t.Helper()
+		ae, ok := err.(*apiError)
+		if !ok {
+			t.Fatalf("want *apiError, got %v", err)
+		}
+		if ae.Status != status || ae.Code != code {
+			t.Fatalf("want %d/%s, got %d/%s (%s)", status, code, ae.Status, ae.Code, ae.Message)
+		}
+	}
+
+	// 404: operand not resident.
+	_, err := cl.Plan("a", "missing")
+	check(err, http.StatusNotFound, "not_found")
+
+	// 409: name taken by different content.
+	_, err = cl.Load("a", genmat.ER(32, 4, 5))
+	check(err, http.StatusConflict, "conflict")
+
+	// 422: dimension mismatch.
+	if _, err := cl.Load("wide", genmat.Hypersparse(32, 64, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Load("tall", genmat.Hypersparse(16, 8, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Plan("wide", "tall")
+	check(err, http.StatusUnprocessableEntity, "unprocessable")
+
+	// 400: bad semiring, bad generator, bad JSON, bad load routes.
+	_, _, err = cl.Multiply(MultiplyRequest{A: "a", B: "a", Semiring: "nope"})
+	check(err, http.StatusBadRequest, "bad_request")
+	_, err = cl.LoadGenerated("g", GeneratorSpec{Kind: "nope"})
+	check(err, http.StatusBadRequest, "bad_request")
+	err = cl.do("POST", "/load", LoadRequest{Name: "two", Mtx: "x", Wire: "x"}, new(LoadResponse))
+	check(err, http.StatusBadRequest, "bad_request")
+
+	resp, err := cl.http().Post(cl.Base+"/multiply", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: want 400, got %d", resp.StatusCode)
+	}
+}
