@@ -9,9 +9,11 @@
 // storage format the auto heuristic would pick per block.
 //
 // With -plan it runs the analytical autotuner for the self-product: the
-// ranked configurations (layers × batches × format × pipeline) with their
-// predicted per-step costs on the chosen machine model, under the -mem
-// budget.
+// ranked configurations (layers × batches × format × pipeline × overlap
+// channels) with their predicted per-step costs on the chosen machine model,
+// under the -mem budget, plus the kernel/merger selection per candidate —
+// which local-multiply kernel and merge strategy the cost table picks for
+// the candidate's column regimes, and the priced sweep it beat.
 //
 // Usage:
 //
@@ -103,6 +105,7 @@ func main() {
 		}
 		pl, err := planner.New(a, b, planner.Input{
 			P: p, MemBytes: mem, Machine: m, Symbolic: mem > 0,
+			Channels: []int{1, 2},
 		})
 		if err != nil {
 			fatal(err)

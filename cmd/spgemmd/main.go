@@ -15,19 +15,27 @@
 //	spgemmd                                   # 16 ranks, Cori-KNL, :8347
 //	spgemmd -p 64 -mem 64MB -machine haswell  # bigger cluster, tight budget
 //	spgemmd -addr 127.0.0.1:9000 -threads 4
+//	spgemmd -kernels kernels.json             # persist the recalibrated
+//	    # kernel/merger cost table: loaded at boot if the file exists, saved
+//	    # on SIGINT/SIGTERM, so measured-speed calibration survives restarts
 //
 // Clients: `spgemm-bench -server URL -exp service` drives a soak workload;
 // `mcl -server URL`, the examples, and any HTTP client speak the same API.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/costmodel"
 	"repro/internal/service"
@@ -40,6 +48,7 @@ func main() {
 		machine = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
 		memStr  = flag.String("mem", "", "aggregate memory budget shared by concurrent jobs, with optional suffix: 4GB, 512MB, 1e9 (empty = unconstrained)")
 		threads = flag.Int("threads", 1, "worker goroutines per rank in local kernels")
+		kernels = flag.String("kernels", "", "kernel/merger cost-table file: loaded at boot when present, saved on SIGINT/SIGTERM (empty = in-memory only, recalibration lost on exit)")
 	)
 	flag.Parse()
 
@@ -51,15 +60,70 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc, err := service.New(service.Config{P: *p, Machine: m, MemBytes: mem, Threads: *threads})
+	kt, err := loadKernels(*kernels)
 	if err != nil {
 		fatal(err)
+	}
+	svc, err := service.New(service.Config{P: *p, Machine: m, MemBytes: mem, Threads: *threads, Kernels: kt})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *kernels != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := saveKernels(*kernels, svc.Kernels()); err != nil {
+				log.Printf("spgemmd: saving kernel table: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("spgemmd: saved kernel table to %s (%d observations)",
+				*kernels, svc.Kernels().Observations())
+			os.Exit(0)
+		}()
 	}
 
 	log.Printf("spgemmd: serving on %s (p=%d machine=%s mem=%d threads=%d)", *addr, *p, m.Name, mem, *threads)
 	if err := http.ListenAndServe(*addr, service.Handler(svc)); err != nil {
 		fatal(err)
 	}
+}
+
+// loadKernels reads a persisted cost table; a missing file or empty path
+// yields a fresh default table (first boot).
+func loadKernels(path string) (*costmodel.KernelTable, error) {
+	kt := costmodel.DefaultKernelTable()
+	if path == "" {
+		return kt, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return kt, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("-kernels: %w", err)
+	}
+	if err := json.Unmarshal(data, kt); err != nil {
+		return nil, fmt.Errorf("-kernels %s: %w", path, err)
+	}
+	log.Printf("spgemmd: loaded kernel table from %s (%d observations, fingerprint %s)",
+		path, kt.Observations(), kt.Fingerprint())
+	return kt, nil
+}
+
+// saveKernels writes the table atomically (temp file + rename) so a crash
+// mid-write never corrupts the previous calibration.
+func saveKernels(path string, kt *costmodel.KernelTable) error {
+	data, err := json.MarshalIndent(kt, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // parseBytes parses a byte count with an optional decimal suffix (KB, MB,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/costmodel"
 	"repro/internal/localmm"
 	"repro/internal/mpi"
 	"repro/internal/semiring"
@@ -20,6 +21,19 @@ const (
 	StepAllToAll   = "AllToAll-Fiber"
 	StepMergeFiber = "Merge-Fiber"
 	StepOther      = "Other"
+)
+
+// Auxiliary compute categories outside the paper's seven steps: the batch-
+// piece extraction before each batch's SUMMA and the final HCat assembly of
+// Result.C. Both run through the overlap ledger (their measured compute is
+// hiding credit for in-flight collectives — with Opts.Pipeline the t+1
+// extraction runs while batch t+1's prefetched stage-0 broadcasts are already
+// posted) but are deliberately not in Steps: the paper's stacked bars, the
+// perf gate, and the planner's meter-exact predictions cover the seven
+// presentation steps, and these host-side shares stay separately auditable.
+const (
+	StepExtract  = "Extract-B"
+	StepAssemble = "Assemble-C"
 )
 
 // Hidden step categories used by the pipelined schedule (Options.Pipeline):
@@ -115,11 +129,34 @@ type Options struct {
 	// Semiring defaults to plus-times.
 	Semiring *semiring.Semiring
 	// Kernel is the Local-Multiply implementation (default: the paper's
-	// sort-free unsorted-hash kernel).
+	// sort-free unsorted-hash kernel). Ignored when AutoKernel is set.
 	Kernel localmm.Kernel
 	// Merger is the Merge-Layer / Merge-Fiber implementation (default: the
-	// paper's sort-free hash merge).
+	// paper's sort-free hash merge). Ignored when AutoMerger is set.
 	Merger localmm.Merger
+	// AutoKernel selects the Local-Multiply kernel per (block, stage) at run
+	// time: each stage's exact flops and scanned columns are priced by the
+	// kernel cost table (Kernels, or the built-in defaults) and the cheaper
+	// of the heap and hash regimes runs. Every kernel produces bit-identical
+	// values, so the knob changes speed attribution only.
+	AutoKernel bool
+	// AutoMerger selects the merge strategy per merge the same way, from the
+	// merged-entry and scanned-column counts of each Merge-Layer/Merge-Fiber
+	// call.
+	AutoMerger bool
+	// Kernels is the kernel/merger cost table consulted by AutoKernel and
+	// AutoMerger and fed by every measured Local-Multiply and merge
+	// (costmodel.KernelTable.Observe — online recalibration). Nil uses the
+	// default coefficients and records nothing, keeping one-shot runs
+	// deterministic; spgemmd shares one table across jobs and persists it.
+	Kernels *costmodel.KernelTable
+	// Channels is k, the number of modeled NIC channels the overlap ledger
+	// may hide split collectives behind: each measured compute second can
+	// hide up to k outstanding requests' communication. 0 or 1 is the
+	// paper's single-injection model (bit-identical to earlier releases);
+	// higher k only matters with Pipeline, where more than one collective
+	// can be in flight over the same compute window.
+	Channels int
 	// MemBytes is the aggregate memory M available across all processes, in
 	// bytes, used by the symbolic step to choose the batch count (Alg 3 line
 	// 12). Zero means unconstrained.
@@ -221,6 +258,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Replication <= 0 {
 		o.Replication = 1
+	}
+	if o.Channels <= 0 {
+		o.Channels = 1
 	}
 	return o
 }

@@ -5,41 +5,64 @@ import (
 )
 
 // overlapLedger is the per-rank accounting that decides how much modeled
-// communication a split collective may hide behind measured compute. It
+// communication the split collectives may hide behind measured compute. It
 // generalizes the per-stage credit pool of the within-batch pipeline to the
 // full schedule: requests are posted at arbitrary points (the next stage, the
 // next batch's first stage, the fiber exchange) and each compute second can
-// hide at most one request's communication.
+// hide at most k requests' communication — one per modeled NIC channel
+// (Options.Channels; the k = 1 default is the paper's single-injection
+// model).
 //
-// clock is the cumulative measured compute time of this rank; claimed is the
-// set of disjoint clock intervals already consumed as hiding credit. A
-// request posted when the clock read post may, at wait time, hide up to the
-// unclaimed measure of [post, clock): only compute that ran after the post
-// and was not already claimed by another outstanding request counts. Claims
-// consume the earliest unclaimed compute first, so a request completed out
-// of posting order (the fiber exchange waits before the prefetched next
-// batch's broadcasts) never swallows the window of an earlier-posted request
-// — interval accounting, not a single watermark, is what makes that hold.
-// With posts and waits back to back (the staged schedule) the credit is
-// always zero, so the ledger meters exactly like the blocking collectives.
+// clock is the cumulative measured compute time of this rank; claimed[ch] is
+// the set of disjoint clock intervals channel ch has already consumed as
+// hiding credit. A request posted when the clock read post may, at wait time,
+// hide up to the unclaimed measure of [post, clock) on its best channel: only
+// compute that ran after the post and was not already claimed on that channel
+// counts. Claims go to the channel with the most unclaimed credit in the
+// window (lowest index on ties) and consume the earliest unclaimed compute
+// first, so a request completed out of posting order (the fiber exchange
+// waits before the prefetched next batch's broadcasts) never swallows the
+// window of an earlier-posted request — interval accounting, not a single
+// watermark, is what makes that hold. With posts and waits back to back (the
+// staged schedule) the credit is always zero on every channel, so the ledger
+// meters exactly like the blocking collectives. With k = 1 the accounting is
+// bit-identical to the single-channel ledger of earlier releases.
 type overlapLedger struct {
-	clock   float64
-	claimed []span
+	clock float64
+	// k is the channel count; 0 means 1. Set before the first claim.
+	k       int
+	claimed [][]span
 }
 
 // span is a half-open claimed interval [lo, hi) of the compute clock.
 type span struct{ lo, hi float64 }
 
+// channels returns the effective channel count (k = 0 means one).
+func (l *overlapLedger) channels() int {
+	if l.k < 1 {
+		return 1
+	}
+	return l.k
+}
+
+// ensure sizes the per-channel claim lists.
+func (l *overlapLedger) ensure() {
+	if len(l.claimed) != l.channels() {
+		l.claimed = make([][]span, l.channels())
+	}
+}
+
 // advance records sec seconds of measured compute.
 func (l *overlapLedger) advance(sec float64) { l.clock += sec }
 
-// creditSince returns the unclaimed compute seconds in [post, clock).
-func (l *overlapLedger) creditSince(post float64) float64 {
+// unclaimedIn returns the unclaimed compute seconds of [post, clock) on one
+// channel's claim list.
+func (l *overlapLedger) unclaimedIn(claimed []span, post float64) float64 {
 	c := l.clock - post
 	if c <= 0 {
 		return 0
 	}
-	for _, s := range l.claimed {
+	for _, s := range claimed {
 		lo, hi := s.lo, s.hi
 		if lo < post {
 			lo = post
@@ -57,15 +80,42 @@ func (l *overlapLedger) creditSince(post float64) float64 {
 	return c
 }
 
-// claim consumes used seconds of unclaimed compute in [post, clock),
-// earliest first, so no other request can hide behind the same compute.
+// creditSince returns the largest unclaimed compute credit in [post, clock)
+// available on any channel.
+func (l *overlapLedger) creditSince(post float64) float64 {
+	l.ensure()
+	best := 0.0
+	for _, ch := range l.claimed {
+		if c := l.unclaimedIn(ch, post); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// claim consumes used seconds of unclaimed compute in [post, clock) on the
+// channel with the most credit there (lowest index on ties), earliest first,
+// so no other request can hide behind the same compute on the same channel.
 func (l *overlapLedger) claim(post, used float64) {
 	if used <= 0 {
 		return
 	}
+	l.ensure()
+	ch, best := 0, l.unclaimedIn(l.claimed[0], post)
+	for i := 1; i < len(l.claimed); i++ {
+		if c := l.unclaimedIn(l.claimed[i], post); c > best {
+			ch, best = i, c
+		}
+	}
+	l.claimed[ch] = l.claimOn(l.claimed[ch], post, used)
+}
+
+// claimOn consumes used seconds on one channel's claim list and returns the
+// updated list.
+func (l *overlapLedger) claimOn(claimed []span, post, used float64) []span {
 	var add []span
 	pos := post
-	for _, s := range l.claimed {
+	for _, s := range claimed {
 		if used <= 0 || pos >= l.clock {
 			break
 		}
@@ -87,14 +137,14 @@ func (l *overlapLedger) claim(post, used float64) {
 		add = append(add, span{pos, pos + take})
 	}
 	if len(add) == 0 {
-		return
+		return claimed
 	}
-	l.claimed = append(l.claimed, add...)
-	sort.Slice(l.claimed, func(i, j int) bool { return l.claimed[i].lo < l.claimed[j].lo })
+	claimed = append(claimed, add...)
+	sort.Slice(claimed, func(i, j int) bool { return claimed[i].lo < claimed[j].lo })
 	// Coalesce touching intervals so the list stays as short as the number of
 	// genuinely distinct claim regions (usually one or two).
-	merged := l.claimed[:1]
-	for _, s := range l.claimed[1:] {
+	merged := claimed[:1]
+	for _, s := range claimed[1:] {
 		if last := &merged[len(merged)-1]; s.lo <= last.hi {
 			if s.hi > last.hi {
 				last.hi = s.hi
@@ -103,7 +153,7 @@ func (l *overlapLedger) claim(post, used float64) {
 			merged = append(merged, s)
 		}
 	}
-	l.claimed = merged
+	return merged
 }
 
 func minf(a, b float64) float64 {

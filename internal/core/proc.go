@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/costmodel"
 	"repro/internal/distmat"
 	"repro/internal/grid"
 	"repro/internal/localmm"
@@ -121,27 +122,63 @@ func AssembleResults(results []*Result, rows, cols int32) (*spmat.CSC, error) {
 	return spmat.FromTriples(rows, cols, ts, nil)
 }
 
-// kernelFn returns the configured local-multiply function, generic over the
+// stageKernel returns the Local-Multiply kernel for one stage. With
+// Opts.AutoKernel the kernel cost table prices the stage's exact flops and
+// scanned-column count and the cheaper of the heap and hash regimes runs
+// (per block and stage, as Azad et al. do per column bucket); otherwise the
+// configured kernel runs everywhere. Every kernel produces bit-identical
+// values, so the choice is a speed decision only.
+func (p *Proc) stageKernel(flops, scanCols int64) localmm.Kernel {
+	if !p.Opts.AutoKernel {
+		return p.Opts.Kernel
+	}
+	name, _ := p.Opts.Kernels.PickKernel(flops, scanCols)
+	if name == costmodel.KernelNameHeap {
+		return localmm.KernelHeap
+	}
+	return localmm.KernelHashUnsorted
+}
+
+// pickMerger returns the merge strategy for one merge of entries stored
+// nonzeros over scanCols scanned columns, per Opts.AutoMerger.
+func (p *Proc) pickMerger(entries, scanCols int64) localmm.Merger {
+	if !p.Opts.AutoMerger {
+		return p.Opts.Merger
+	}
+	name, _ := p.Opts.Kernels.PickMerger(entries, scanCols)
+	if name == costmodel.MergerNameHeap {
+		return localmm.MergerHeap
+	}
+	return localmm.MergerHash
+}
+
+// kernelAs returns the local-multiply function for kernel k, generic over the
 // storage format (localmm.MulMat dispatches to the CSC fast path when both
 // operands are CSC). Opts.Threads > 1 runs the two-phase parallel kernel;
 // the workers execute inside the caller's MeasureCompute token, so the
 // single-token gate still serializes ranks and intra-rank speedup shows up
 // as shorter measured compute time.
-func (p *Proc) kernelFn() func(a, b spmat.Matrix) spmat.Matrix {
-	k, sr, threads := p.Opts.Kernel, p.Opts.Semiring, p.Opts.Threads
+func (p *Proc) kernelAs(k localmm.Kernel) func(a, b spmat.Matrix) spmat.Matrix {
+	sr, threads := p.Opts.Semiring, p.Opts.Threads
 	return func(a, b spmat.Matrix) spmat.Matrix {
 		return localmm.MulMat(k, a, b, sr, threads)
 	}
 }
 
-// mergeFn returns the configured merge function, parallelized the same way as
-// kernelFn when Opts.Threads > 1 and format-generic like it (Merge-Fiber can
-// see mixed formats under the auto heuristic).
-func (p *Proc) mergeFn() func(mats []spmat.Matrix, sorted bool) spmat.Matrix {
-	mg, sr, threads := p.Opts.Merger, p.Opts.Semiring, p.Opts.Threads
+// mergeAs returns the merge function for merger mg, parallelized the same way
+// as kernelAs when Opts.Threads > 1 and format-generic like it (Merge-Fiber
+// can see mixed formats under the auto heuristic).
+func (p *Proc) mergeAs(mg localmm.Merger) func(mats []spmat.Matrix, sorted bool) spmat.Matrix {
+	sr, threads := p.Opts.Semiring, p.Opts.Threads
 	return func(mats []spmat.Matrix, sorted bool) spmat.Matrix {
 		return localmm.MergeMat(mg, mats, sr, sorted, threads)
 	}
+}
+
+// mergeFn returns the merge function of the statically configured merger
+// (call sites that pick per merge use pickMerger + mergeAs).
+func (p *Proc) mergeFn() func(mats []spmat.Matrix, sorted bool) spmat.Matrix {
+	return p.mergeAs(p.Opts.Merger)
 }
 
 // colScanWork is the column-metadata share of a block's modeled work: the

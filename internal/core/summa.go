@@ -125,21 +125,29 @@ func (p *Proc) forEachStage(bBatch, bNextBatch spmat.Matrix, res *Result, consum
 		stageFlops := localmm.MatFlops(aRecv, bRecv)
 		res.LocalFlops += stageFlops
 
-		// Local multiply (Alg 1 line 7). Work units = flops plus the operand
-		// traversal cost, so empty products still carry their column-scan
-		// work — the dense column count for CSC operands, only the stored
-		// columns for DCSC (the O(n)-per-block term the compressed format
-		// removes from the modeled critical path). With Opts.Threads > 1 the
+		// Local multiply (Alg 1 line 7). The kernel is chosen per stage from
+		// the exact flops and scanned columns of this block pair when
+		// Opts.AutoKernel is set (stageKernel), and the measured seconds feed
+		// the recalibration table either way. Work units = flops plus the
+		// operand traversal cost, so empty products still carry their
+		// column-scan work — the dense column count for CSC operands, only
+		// the stored columns for DCSC (the O(n)-per-block term the compressed
+		// format removes from the modeled critical path); the unit accounting
+		// is deliberately kernel-independent so the modeled critical path
+		// never moves with the kernel knob. With Opts.Threads > 1 the
 		// kernel's workers all run inside this rank's MeasureCompute token:
 		// the single-token gate still serializes ranks, so intra-rank
 		// parallelism appears as shorter measured compute, exactly the
 		// paper's 16-threads-per-process configuration.
 		meter.SetCategory(StepLocalMult)
+		scanCols := colScanWork(bRecv)
+		kern := p.stageKernel(stageFlops, scanCols)
 		var prod spmat.Matrix
 		sec := p.measure(func() {
-			prod = p.kernelFn()(aRecv, bRecv)
+			prod = p.kernelAs(kern)(aRecv, bRecv)
 		})
-		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+colScanWork(bRecv)+1)
+		p.Opts.Kernels.Observe(kern.String(), stageFlops, scanCols, sec)
+		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+scanCols+1)
 		consume(prod)
 	}
 }
@@ -178,13 +186,17 @@ func (p *Proc) summa2D(bBatch, bNextBatch spmat.Matrix, res *Result) spmat.Matri
 	partial, unmerged := p.stageProducts(bBatch, bNextBatch, res)
 
 	// Merge-Layer (Alg 1 line 8). Output may stay unsorted: only the final
-	// Merge-Fiber output must be sorted (Sec. IV-D).
+	// Merge-Fiber output must be sorted (Sec. IV-D). The strategy is chosen
+	// per merge from the entry and scanned-column counts when Opts.AutoMerger
+	// is set, and the measured seconds recalibrate the table.
 	meter := p.G.World.Meter()
 	meter.SetCategory(StepMergeLayer)
+	mg := p.pickMerger(unmerged, colScanWork(bBatch))
 	var d spmat.Matrix
 	mergeSec := p.measure(func() {
-		d = p.mergeFn()(partial, false)
+		d = p.mergeAs(mg)(partial, false)
 	})
+	p.Opts.Kernels.Observe(mg.String(), unmerged, colScanWork(bBatch), mergeSec)
 	meter.AddComputeWork(mergeSec, unmerged+colScanWork(bBatch)+1)
 	res.MergedLayerNNZ += d.NNZ()
 	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+unmerged+d.NNZ())
@@ -211,10 +223,12 @@ func (p *Proc) summa2DIncremental(bBatch, bNextBatch spmat.Matrix, res *Result) 
 		work := acc.NNZ() + prod.NNZ()
 		p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+work)
 		pair := []spmat.Matrix{acc, prod}
+		mg := p.pickMerger(work, colScanWork(acc))
 		var merged spmat.Matrix
 		sec := p.measure(func() {
-			merged = p.mergeFn()(pair, false)
+			merged = p.mergeAs(mg)(pair, false)
 		})
+		p.Opts.Kernels.Observe(mg.String(), work, colScanWork(acc), sec)
 		meter.AddComputeWork(sec, work+1)
 		acc = merged
 	})
@@ -234,7 +248,7 @@ func (p *Proc) summa2DIncremental(bBatch, bNextBatch spmat.Matrix, res *Result) 
 // on the last batch, used by the pipelined schedule's cross-batch prefetch.
 // Returns the local batch output (sorted) and the local column offsets
 // (within this rank's block column) it covers.
-func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch spmat.Matrix, res *Result) (*spmat.CSC, []int32) {
+func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch spmat.Matrix, res *Result) (spmat.Matrix, []int32) {
 	if p.Opts.Pipeline {
 		return p.summa3DBatchOverlapped(t, bBatch, bNextBatch, res)
 	}
@@ -274,7 +288,7 @@ func (p *Proc) summa3DBatch(t int, bBatch, bNextBatch spmat.Matrix, res *Result)
 // complete while the own-layer share still runs: that merge time becomes
 // overlap credit and the hidden share of the AllToAll cost is charged to
 // StepAllToAllHidden.
-func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, res *Result) (*spmat.CSC, []int32) {
+func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, res *Result) (spmat.Matrix, []int32) {
 	g := p.G
 	meter := g.World.Meter()
 	led := &p.pipe.ledger
@@ -333,10 +347,12 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, re
 		for _, piece := range perDest[m] {
 			in += piece.NNZ()
 		}
+		mg := p.pickMerger(in, colScanWork(perDest[m][0]))
 		var out spmat.Matrix
 		sec := p.measure(func() {
-			out = p.mergeFn()(perDest[m], false)
+			out = p.mergeAs(mg)(perDest[m], false)
 		})
+		p.Opts.Kernels.Observe(mg.String(), in, colScanWork(out), sec)
 		meter.AddComputeWork(sec, in+colScanWork(out)+1)
 		return out
 	}
@@ -374,9 +390,15 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, re
 // (Sec. IV-D). recv is indexed by source layer; nil entries carry nothing.
 // Received pieces keep whatever format their source rank stored them in —
 // under the auto heuristic the operands can mix formats — and the batch
-// output is delivered in CSC: it is the user-facing piece (hooks, HCat into
-// Result.C), and its column count is this rank's small share of one batch.
-func (p *Proc) mergeFiber(t int, rows int32, recv []mpi.Payload, res *Result) (*spmat.CSC, []int32) {
+// output keeps the merged format too: when every fiber payload is
+// doubly-compressed the merge emits DCSC (localmm.MergeMat), so hypersparse
+// batches never inflate to dense column pointers here — this was the last
+// O(cols) scan on the DCSC path, and the work accounting now carries the
+// same colScanWork term as every other merge (the dense column count for a
+// CSC output, only the stored columns for DCSC). Conversion to the
+// user-facing CSC happens once, at hook boundaries and final assembly
+// (BatchedSUMMA3D).
+func (p *Proc) mergeFiber(t int, rows int32, recv []mpi.Payload, res *Result) (spmat.Matrix, []int32) {
 	g := p.G
 	meter := g.World.Meter()
 	meter.SetCategory(StepMergeFiber)
@@ -390,15 +412,26 @@ func (p *Proc) mergeFiber(t int, rows int32, recv []mpi.Payload, res *Result) (*
 		mats = append(mats, m)
 		recvNNZ += m.NNZ()
 	}
-	var c *spmat.CSC
+	mg := p.Opts.Merger
+	if len(mats) > 0 {
+		var scan int64
+		for _, m := range mats {
+			scan += colScanWork(m)
+		}
+		mg = p.pickMerger(recvNNZ, scan)
+	}
+	var c spmat.Matrix
 	fiberSec := p.measure(func() {
 		if len(mats) == 0 {
 			c = spmat.New(rows, 0)
 		} else {
-			c = p.mergeFn()(mats, true).ToCSC()
+			c = p.mergeAs(mg)(mats, true)
 		}
 	})
-	meter.AddComputeWork(fiberSec, recvNNZ+1)
+	if len(mats) > 0 {
+		p.Opts.Kernels.Observe(mg.String(), recvNNZ, colScanWork(c), fiberSec)
+	}
+	meter.AddComputeWork(fiberSec, recvNNZ+colScanWork(c)+1)
 	p.trackPeak(res, p.LocalA.NNZ()+p.LocalB.NNZ()+recvNNZ+c.NNZ())
 	return c, p.bt.BatchLayerCols(t, g.K)
 }

@@ -45,6 +45,10 @@ type gateShape struct {
 	// and replication factor c instead of the sparse pipeline (wl ignored).
 	algo string
 	c, d int
+	// machine overrides the gate's default comm-amplified Cori-KNL model:
+	// "local" pins costmodel.LocalHost(), the work-dominated regime where
+	// compute savings (not wire bytes) decide the modeled critical path.
+	machine string
 }
 
 // gateShapes are the pinned fig-6/fig-8 shapes the nightly gate runs, plus
@@ -65,6 +69,16 @@ var gateShapes = []gateShape{
 	{name: "hyper-kmers-csc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatCSC},
 	{name: "hyper-kmers-dcsc-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC},
 	{name: "hyper-kmers-sparse-staged", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC, sparse: mpi.SparseAuto},
+	// Fiber-merge twins: the hypersparse kmers workload on the unamplified
+	// local-host machine, where modeled work — not wire bytes — dominates
+	// the critical path. This is the regime the DCSC-preserving Merge-Fiber
+	// targets: the CSC twin pays the dense q·cols column scan in the fiber
+	// merge, the DCSC twin scans only occupied columns. CompareGate enforces
+	// that the DCSC twin's modeled critical path undercuts the CSC twin's by
+	// more than 5%, so the doubly-compressed merge's win is a gated number,
+	// not a narrative.
+	{name: "fibermerge-kmers-csc", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatCSC, machine: "local"},
+	{name: "fibermerge-kmers-dcsc", wl: WLRiceKmers, p: 64, l: 16, b: 2, symbolic: true, format: spmat.FormatDCSC, machine: "local"},
 	// Sparse×dense shapes: the 1.5D schedules on the spmm workload (dense
 	// unweighted R-MAT · tall-skinny feature panel). The staged shapes are
 	// gated; the pipelined twin documents the dense overlap ablation.
@@ -131,9 +145,13 @@ func (g *GateReport) Shape(name string) *GateResult {
 // amplification, forced batch counts — so two runs of the same code produce
 // identical gated numbers.
 func RunGate() (*GateReport, error) {
-	machine := costmodel.CoriKNL().ScaledBeta(commAmplification(ScaleTiny))
+	defaultMachine := costmodel.CoriKNL().ScaledBeta(commAmplification(ScaleTiny))
 	rep := &GateReport{SecPerWorkUnit: GateSecPerWorkUnit}
 	for _, sh := range gateShapes {
+		machine := defaultMachine
+		if sh.machine == "local" {
+			machine = costmodel.LocalHost()
+		}
 		var summary *mpi.Summary
 		if sh.algo != "" {
 			algo, err := core.ParseAlgo(sh.algo)
@@ -238,6 +256,16 @@ func CompareGate(cur, base *GateReport, tol float64) []string {
 		if sp.Bytes > full.Bytes {
 			bad = append(bad, fmt.Sprintf("hyper-kmers: sparse-comm bytes %d exceed full-broadcast bytes %d — the subset decision inverted",
 				sp.Bytes, full.Bytes))
+		}
+	}
+	// Cross-shape invariant: on the work-dominated fiber-merge twins the
+	// doubly-compressed path must beat the dense-pointer path by more than
+	// 5% of modeled critical path — the DCSC Merge-Fiber's O(cols)→O(nnz)
+	// column-scan saving, held as a gated number.
+	if csc, dcsc := cur.Shape("fibermerge-kmers-csc"), cur.Shape("fibermerge-kmers-dcsc"); csc != nil && dcsc != nil {
+		if dcsc.ModelSeconds > 0.95*csc.ModelSeconds {
+			bad = append(bad, fmt.Sprintf("fibermerge-kmers: DCSC modeled critical path %.6g s is not >5%% under CSC's %.6g s — the doubly-compressed fiber-merge win regressed",
+				dcsc.ModelSeconds, csc.ModelSeconds))
 		}
 	}
 	return bad

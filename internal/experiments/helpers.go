@@ -33,6 +33,21 @@ func (o RunOpts) coreOpts(c core.Options) core.Options {
 	if c.SparseComm == mpi.SparseOff {
 		c.SparseComm = o.SparseComm
 	}
+	if c.Kernel == localmm.KernelHashUnsorted {
+		c.Kernel = o.Kernel
+	}
+	if c.Merger == localmm.MergerHash {
+		c.Merger = o.Merger
+	}
+	if o.AutoKernel {
+		c.AutoKernel = true
+	}
+	if o.AutoMerger {
+		c.AutoMerger = true
+	}
+	if c.Channels == 0 {
+		c.Channels = o.Channels
+	}
 	return c
 }
 

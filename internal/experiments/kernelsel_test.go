@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKernelSelGate is the kernel-selection property test: on every
+// planner-gate shape, the planner's kernel and merger picks must price
+// within KernelSelTolerance of the exhaustive option sweep over the
+// *measured* aggregates of a real staged run, the meter inversion behind
+// those aggregates must stay non-negative, and a pick-vs-defaults
+// differential run must be bit-identical per rank.
+func TestKernelSelGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernelsel runs every gate shape twice in -short mode")
+	}
+	bad, err := KernelSelGate(ScaleTiny, KernelSelTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range bad {
+		t.Error(msg)
+	}
+}
+
+// TestKernelSelGateCatchesBadPick sanity-checks the gate's teeth: with a
+// negative tolerance even the oracle's own best option "regresses", so an
+// empty violation list cannot be vacuous.
+func TestKernelSelGateCatchesBadPick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernelsel runs every gate shape twice in -short mode")
+	}
+	bad, err := KernelSelGate(ScaleTiny, -0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Error("a -50% tolerance reported no violations — the gate cannot fail")
+	}
+	found := false
+	for _, msg := range bad {
+		if strings.Contains(msg, "pick") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations carry no pick-vs-oracle message: %q", bad)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/grid"
+	"repro/internal/localmm"
 	"repro/internal/mpi"
 	"repro/internal/planner"
 	"repro/internal/service"
@@ -146,7 +147,9 @@ func planOracle(a, b *spmat.CSC, p int, machine costmodel.Machine, mem int64, bS
 						Feasible:     feasible,
 						Steps:        steps,
 					}
-					out = append(out, staged, pipelinedEntry(staged, p, q, allreduce))
+					out = append(out, staged,
+						pipelinedEntry(staged, p, q, allreduce, 1),
+						pipelinedEntry(staged, p, q, allreduce, 2))
 				}
 			}
 		}
@@ -252,12 +255,14 @@ func containsInt(xs []int, v int) bool {
 	return false
 }
 
-// pipelinedEntry derives the pipelined twin of a staged oracle point by
-// applying the shared overlap-ledger model to its deterministic step costs,
-// with per-rank compute valued at the pinned work rate. allreduce is the
-// symbolic step's blocking-Allreduce share, excluded from the hideable
-// broadcast cost exactly as the planner's own transform excludes it.
-func pipelinedEntry(staged oracleEntry, p, q int, allreduce float64) oracleEntry {
+// pipelinedEntry derives the pipelined twin of a staged oracle point under k
+// overlap channels by applying the shared overlap-ledger model to its
+// deterministic step costs, with per-rank compute valued at the pinned work
+// rate. allreduce is the symbolic step's blocking-Allreduce share, excluded
+// from the hideable broadcast cost exactly as the planner's own transform
+// excludes it. k ≤ 1 keeps Config.Channels at the zero value so the swept
+// space matches the planner's spellings exactly.
+func pipelinedEntry(staged oracleEntry, p, q int, allreduce float64, k int) oracleEntry {
 	perRank := func(step string) float64 {
 		return float64(staged.Steps[step].Work) * GateSecPerWorkUnit / float64(p)
 	}
@@ -266,7 +271,7 @@ func pipelinedEntry(staged oracleEntry, p, q int, allreduce float64) oracleEntry
 		symBcast = 0
 	}
 	o := planner.Overlap{
-		Q: q, B: staged.Cfg.B, L: staged.Cfg.L,
+		Q: q, B: staged.Cfg.B, L: staged.Cfg.L, K: k,
 		Symbolic:          true,
 		CommSymbolicBcast: symBcast,
 		CommABcast:        staged.Steps[core.StepABcast].Comm,
@@ -280,6 +285,9 @@ func pipelinedEntry(staged oracleEntry, p, q int, allreduce float64) oracleEntry
 	hidden := hSym + hA + hB + hFiber
 	out := staged
 	out.Cfg.Pipeline = true
+	if k >= 2 {
+		out.Cfg.Channels = k
+	}
 	out.CommSeconds = staged.CommSeconds - hidden
 	out.ModelSeconds = out.CommSeconds + float64(out.WorkUnits)*GateSecPerWorkUnit
 	return out
@@ -341,6 +349,10 @@ func planGateInput(p int, machine costmodel.Machine, mem int64) planner.Input {
 		Symbolic:    true,
 		SecPerWork:  GateSecPerWorkUnit,
 		SparseComms: []mpi.SparseMode{mpi.SparseOff, mpi.SparseAuto},
+		// Sweep the overlap channel axis like the runtime autotune does;
+		// the oracle derives a k=2 twin for every pipelined point so the
+		// pick stays covered.
+		Channels: []int{1, 2},
 	}
 }
 
@@ -630,9 +642,19 @@ func RunAutotune(opts RunOpts, w io.Writer) error {
 			return fmt.Errorf("%s: no feasible configuration to run", sh.name)
 		}
 
-		fmt.Fprintf(w, "\nrunning the chosen configuration (%s)…\n", pick.Config)
+		fmt.Fprintf(w, "\nrunning the chosen configuration (%s, kernel=%s merger=%s)…\n",
+			pick.Config, pick.Kernel, pick.Merger)
+		kern, err := localmm.ParseKernel(pick.Kernel)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sh.name, err)
+		}
+		merger, err := localmm.ParseMerger(pick.Merger)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sh.name, err)
+		}
 		rr := runMul(a, b, sh.p, pick.L, machine, 0, pick.B,
-			core.Options{RunSymbolic: true, Format: pick.Format, Pipeline: pick.Pipeline, SparseComm: pick.SparseComm})
+			core.Options{RunSymbolic: true, Format: pick.Format, Pipeline: pick.Pipeline,
+				SparseComm: pick.SparseComm, Channels: pick.Channels, Kernel: kern, Merger: merger})
 		if rr.Err != nil {
 			return fmt.Errorf("%s: %w", sh.name, rr.Err)
 		}

@@ -11,6 +11,23 @@
 // All kernels are column-Gustavson: C(:,j) = Σ_{i : B(i,j)≠0} A(:,i)·B(i,j),
 // and all accept an arbitrary semiring.
 //
+// # Kernel and merger selection
+//
+// The Kernel and Merger enums name every generation for callers
+// (ParseKernel/ParseMerger accept the CLI spellings; Kernel.Func and
+// Merger.Merge dispatch). Selection is speed attribution only: every
+// kernel × merger combination produces bit-identical output, including
+// float64 values. That guarantee is engineered, not incidental — the hash
+// paths accumulate each output entry in operand order, and the heap paths
+// order rowHeap by (row, operand list) so same-row contributions pop in
+// exactly that order; differential suites here, in core, and in the
+// kernelsel experiment hold every combination to exact equality through
+// full distributed runs. Which option is *fastest* for a block is the
+// costmodel.KernelTable's call (heap below ~64 flops/column, hash above,
+// hybrid on mixed columns), made at plan time by planner.Choice or per
+// block at run time via core.Options.AutoKernel/AutoMerger, with measured
+// times fed back into the table (online recalibration).
+//
 // # Symbolic kernels
 //
 // SymbolicSpGEMM (and its threaded form ParallelSymbolicSpGEMM) is the

@@ -14,16 +14,29 @@ type heapEntry struct {
 	ptr  int64
 }
 
-// rowHeap is a binary min-heap on row index. A hand-rolled heap avoids the
-// interface indirection of container/heap in this hot loop.
+// rowHeap is a binary min-heap on (row, list). A hand-rolled heap avoids the
+// interface indirection of container/heap in this hot loop. The list
+// tie-break makes same-row contributions pop in operand order — exactly the
+// order the hash accumulator adds them — so heap- and hash-based paths
+// produce bit-identical float64 values, not merely equal structure: the
+// kernel and merger knobs are speed attribution only, and the differential
+// suites hold them to exact equality.
 type rowHeap []heapEntry
+
+// heapLess orders entries by row, ties by list (operand) index.
+func heapLess(a, b heapEntry) bool {
+	if a.row != b.row {
+		return a.row < b.row
+	}
+	return a.list < b.list
+}
 
 func (h *rowHeap) push(e heapEntry) {
 	*h = append(*h, e)
 	i := len(*h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if (*h)[parent].row <= (*h)[i].row {
+		if !heapLess((*h)[i], (*h)[parent]) {
 			break
 		}
 		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
@@ -41,10 +54,10 @@ func (h *rowHeap) pop() heapEntry {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && old[l].row < old[small].row {
+		if l < n && heapLess(old[l], old[small]) {
 			small = l
 		}
-		if r < n && old[r].row < old[small].row {
+		if r < n && heapLess(old[r], old[small]) {
 			small = r
 		}
 		if small == i {

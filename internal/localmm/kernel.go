@@ -62,6 +62,22 @@ func (k Kernel) serial() func(a, b *spmat.CSC, sr *semiring.Semiring) *spmat.CSC
 	}
 }
 
+// ParseKernel parses a -kernel flag value ("auto" is not a kernel — callers
+// map it to the per-stage selection knob before parsing).
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "hash", "unsorted-hash", "":
+		return KernelHashUnsorted, nil
+	case "sorted-hash":
+		return KernelHashSorted, nil
+	case "heap":
+		return KernelHeap, nil
+	case "hybrid":
+		return KernelHybrid, nil
+	}
+	return 0, fmt.Errorf("localmm: unknown kernel %q (want hash | sorted-hash | heap | hybrid)", s)
+}
+
 // Merger selects the merging implementation used by Merge-Layer and
 // Merge-Fiber.
 type Merger int
@@ -104,6 +120,18 @@ func (m Merger) serial() func(mats []*spmat.CSC, sr *semiring.Semiring, sortOutp
 	default:
 		panic("localmm: unknown merger " + m.String())
 	}
+}
+
+// ParseMerger parses a -merger flag value ("auto" is not a merger — callers
+// map it to the per-merge selection knob before parsing).
+func ParseMerger(s string) (Merger, error) {
+	switch s {
+	case "hash", "hash-merge", "":
+		return MergerHash, nil
+	case "heap", "heap-merge":
+		return MergerHeap, nil
+	}
+	return 0, fmt.Errorf("localmm: unknown merger %q (want hash | heap)", s)
 }
 
 // Multiply is the serial reference SpGEMM used to verify distributed results:

@@ -1,0 +1,106 @@
+package planner
+
+import (
+	"repro/internal/costmodel"
+)
+
+// Plan-time kernel and merger selection: every candidate configuration is
+// priced against the kernel cost table (Input.Kernels, or the built-in
+// defaults) over the same aggregates the runtime meters — exact flops and
+// scanned columns for the multiply kernels, merged entries and scanned
+// columns for the merge strategies — and the cheapest option is recorded on
+// the candidate. The selection never moves ModelSeconds: metered work units
+// are kernel-independent by design, so the perf gate's numbers cannot shift
+// with the speed knob. What the selection feeds is execution (ApplyChoice
+// sets Options.Kernel/Merger) and the kernelsel CI gate, which audits the
+// pick against an exhaustive kernel×merger oracle.
+
+// kernelNames and mergerNames fix the deterministic sweep order (ties keep
+// the earlier name, so the paper's defaults win exact draws).
+var kernelNames = []string{
+	costmodel.KernelNameHash, costmodel.KernelNameHeap, costmodel.KernelNameHybrid,
+}
+var mergerNames = []string{costmodel.MergerNameHash, costmodel.MergerNameHeap}
+
+// selectKernels fills cand.Kernel/Merger and the per-option sweeps.
+//
+// mulCols is the multiply kernels' total scanned columns (q ranks scan each
+// received batch piece); mergeEntries and mergeCols aggregate both merge
+// sites (Merge-Layer's unmerged stage products over the piece scans, plus
+// Merge-Fiber's per-layer entries over the destination piece scans).
+//
+// The fixed kernels are priced on the aggregates directly — a linear model
+// makes Σ per-stage predictions equal the prediction of the Σ. The hybrid
+// kernel's advantage is per-column regime mixing, invisible to aggregates,
+// so it is priced from the sampled per-column flop distribution: each
+// sampled column's flops spread over the mean scans-per-column, priced at
+// the better regime for that density, plus the dispatch overhead per scan.
+func (pl *Plan) selectKernels(cand *Candidate, mulCols, mergeEntries, mergeCols int64) {
+	kt, pr := pl.In.Kernels, pl.Probe
+
+	kernels := make(map[string]float64, len(kernelNames))
+	for _, name := range kernelNames {
+		if name == costmodel.KernelNameHybrid {
+			continue
+		}
+		kernels[name] = kt.Predict(name, pr.Flops, mulCols)
+	}
+	hybrid, heapCols, hashCols := pl.hybridEstimate(mulCols)
+	kernels[costmodel.KernelNameHybrid] = hybrid
+	cand.KernelSeconds = kernels
+	cand.RegimeHeapCols, cand.RegimeHashCols = heapCols, hashCols
+	cand.Kernel = argminName(kernelNames, kernels)
+
+	mergers := make(map[string]float64, len(mergerNames))
+	for _, name := range mergerNames {
+		mergers[name] = kt.Predict(name, mergeEntries, mergeCols)
+	}
+	cand.MergerSeconds = mergers
+	cand.Merger = argminName(mergerNames, mergers)
+}
+
+// hybridEstimate prices the hybrid kernel from the sampled per-column flop
+// distribution and counts the sampled columns per regime. With no sample (an
+// empty B) it degrades to the aggregate minimum plus dispatch — the same
+// value costmodel's block-level derivation gives.
+func (pl *Plan) hybridEstimate(mulCols int64) (sec float64, heapCols, hashCols int) {
+	kt, pr := pl.In.Kernels, pl.Probe
+	hash := kt.Coeffs(costmodel.KernelNameHash)
+	heap := kt.Coeffs(costmodel.KernelNameHeap)
+	dispatch := costmodel.HybridDispatchSecPerCol * float64(mulCols)
+	if len(pr.sampleFlops) == 0 || pr.ColsB <= 0 || mulCols <= 0 {
+		return minf(kt.Predict(costmodel.KernelNameHash, pr.Flops, mulCols),
+			kt.Predict(costmodel.KernelNameHeap, pr.Flops, mulCols)) + dispatch, 0, 0
+	}
+	// Every B column is scanned the same number of times in expectation
+	// (q ranks × l layers × its stage); the mean preserves the aggregate:
+	// summing a fixed kernel over this split reproduces its aggregate
+	// prediction exactly.
+	scansPerCol := float64(mulCols) / float64(pr.ColsB)
+	var total float64
+	for _, f := range pr.sampleFlops {
+		perScan := float64(f) / scansPerCol
+		hashSec := hash.SecPerUnit*perScan + hash.SecPerCol
+		heapSec := heap.SecPerUnit*perScan + heap.SecPerCol
+		if heapSec < hashSec {
+			heapCols++
+			total += scansPerCol * heapSec
+		} else {
+			hashCols++
+			total += scansPerCol * hashSec
+		}
+	}
+	return pl.Probe.scale*total + dispatch, heapCols, hashCols
+}
+
+// argminName returns the cheapest name in sweep, first-wins on ties (names
+// lists the deterministic order).
+func argminName(names []string, sweep map[string]float64) string {
+	best := names[0]
+	for _, name := range names[1:] {
+		if sweep[name] < sweep[best] {
+			best = name
+		}
+	}
+	return best
+}

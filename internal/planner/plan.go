@@ -60,6 +60,15 @@ type Input struct {
 	// SparseComms restricts the sparse-communication dimension (nil = off
 	// only, so pre-knob plans and their rankings are unchanged).
 	SparseComms []mpi.SparseMode
+	// Channels lists the candidate overlap channel counts k for pipelined
+	// configurations (nil = single-channel only, so pre-knob plans are
+	// unchanged). Staged configurations ignore the axis.
+	Channels []int
+	// Kernels is the kernel cost table the plan-time kernel/merger
+	// selection prices against. Nil uses the built-in default
+	// coefficients; a daemon passes its shared recalibrated table so
+	// picks track the measured machine.
+	Kernels *costmodel.KernelTable
 }
 
 func (in Input) withDefaults() Input {
@@ -83,6 +92,9 @@ func (in Input) withDefaults() Input {
 	}
 	if len(in.SparseComms) == 0 {
 		in.SparseComms = []mpi.SparseMode{mpi.SparseOff}
+	}
+	if len(in.Channels) == 0 {
+		in.Channels = []int{1}
 	}
 	return in
 }
@@ -152,7 +164,9 @@ func New(a, b *spmat.CSC, in Input) (*Plan, error) {
 					if !pipe {
 						pl.Candidates = append(pl.Candidates, staged)
 					} else if staged.Feasible {
-						pl.Candidates = append(pl.Candidates, pl.applyOverlap(staged))
+						for _, k := range in.Channels {
+							pl.Candidates = append(pl.Candidates, pl.applyOverlap(staged, k))
+						}
 					}
 				}
 			}
@@ -178,7 +192,10 @@ func New(a, b *spmat.CSC, in Input) (*Plan, error) {
 		if cx.SparseComm != cy.SparseComm {
 			return cx.SparseComm < cy.SparseComm
 		}
-		return !cx.Pipeline && cy.Pipeline
+		if cx.Pipeline != cy.Pipeline {
+			return !cx.Pipeline
+		}
+		return cx.Channels < cy.Channels
 	})
 	return pl, nil
 }
@@ -212,7 +229,7 @@ func (pl *Plan) Evaluate(cfg Config) (Candidate, error) {
 	}
 	c := pl.predict(gs, cfg.Format, cfg.B, cfg.SparseComm)
 	if cfg.Pipeline {
-		c = pl.applyOverlap(c)
+		c = pl.applyOverlap(c, cfg.Channels)
 	}
 	return c, nil
 }

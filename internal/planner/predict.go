@@ -36,11 +36,16 @@ type Config struct {
 	// SparseComm selects the column-subset A-broadcast path; the zero value
 	// (off) models the historical full-block broadcasts.
 	SparseComm mpi.SparseMode
+	// Channels is k, the pipelined schedule's modeled NIC channel count.
+	// Zero and one both mean the single-injection ledger (the zero value
+	// keeps pre-knob configs comparable and their spellings unchanged);
+	// only k ≥ 2 is ever recorded.
+	Channels int
 }
 
 // String renders the config the way reports and flags spell it. The
-// sparse-comm suffix appears only when the knob is set, so pre-knob spellings
-// are unchanged.
+// sparse-comm and channel suffixes appear only when the knobs are set, so
+// pre-knob spellings are unchanged.
 func (c Config) String() string {
 	sched := "staged"
 	if c.Pipeline {
@@ -49,6 +54,9 @@ func (c Config) String() string {
 	s := "l=" + itoa(c.L) + " b=" + itoa(c.B) + " " + c.Format.String() + " " + sched
 	if c.SparseComm != mpi.SparseOff {
 		s += " sparse=" + c.SparseComm.String()
+	}
+	if c.Channels >= 2 {
+		s += " k=" + itoa(c.Channels)
 	}
 	return s
 }
@@ -89,6 +97,24 @@ type Candidate struct {
 	Feasible bool
 	// Note carries the infeasibility reason, if any.
 	Note string
+	// Kernel and Merger name the plan-time selected Local-Multiply kernel
+	// and merge strategy (the localmm flag spellings): the cheapest option
+	// when the kernel cost table prices this candidate's exact flop and
+	// scanned-column aggregates. They never move ModelSeconds — metered
+	// work units are deliberately kernel-independent, so the speed knob
+	// can't shift the perf gate — but ApplyChoice executes them.
+	Kernel, Merger string
+	// KernelSeconds and MergerSeconds hold every option's predicted wall
+	// seconds (the exhaustive sweep the kernelsel gate audits the pick
+	// against). The hybrid entry is the sampled per-column estimate: each
+	// sampled column priced at the better of the heap and hash regimes for
+	// its own flops-per-scan, plus the dispatch overhead.
+	KernelSeconds, MergerSeconds map[string]float64
+	// RegimeHeapCols and RegimeHashCols count the sampled B columns whose
+	// flops-per-scan fall in the heap-favored (sparse) and hash-favored
+	// (dense) regimes under the table's crossover — the per-block-regime
+	// summary mtxinfo -plan reports.
+	RegimeHeapCols, RegimeHashCols int
 }
 
 // Step returns the named step's cost (zero value if absent).
@@ -336,8 +362,41 @@ func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int, sparse mp
 	steps = append(steps, StepCost{Step: StepAllToAll, CommSeconds: fiberComm})
 
 	// Merge-Fiber: every merged per-layer entry is merged once more at its
-	// destination rank.
-	steps = append(steps, StepCost{Step: StepMergeFiber, WorkUnits: int64(unmergedL) + p64*b64})
+	// destination rank, plus the merged piece's column scan. A CSC piece
+	// scans its dense width — Σ over ranks and batches is exactly q·cols(j)
+	// per column block (the batch∩layer shares partition the block column
+	// and q process rows each hold one piece). A doubly-compressed piece
+	// scans only its occupied columns — Σ over ranks is the occupied
+	// (row block, column) cell count of C, estimated from the sampled
+	// output structure. A column block stays doubly compressed through the
+	// merge exactly when every B̃(·,j,·) block feeding it is DCSC (products
+	// and layer splits inherit the B operand's format).
+	var fiberScan int64
+	var dcscFiberCols float64
+	for j := 0; j < q; j++ {
+		allDCSC := true
+		for s := 0; s < q && allDCSC; s++ {
+			for k := 0; k < l; k++ {
+				idx := gs.blockIdx(s, j, k)
+				if gs.bNNZ[idx] == 0 {
+					continue
+				}
+				if blockFormat(gs.bNE[idx], gs.bCols[j]) != spmat.FormatDCSC {
+					allDCSC = false
+					break
+				}
+			}
+		}
+		if allDCSC {
+			dcscFiberCols += float64(gs.bCols[j])
+		} else {
+			fiberScan += q64 * int64(gs.bCols[j])
+		}
+	}
+	if dcscFiberCols > 0 && pr.ColsB > 0 {
+		fiberScan += int64(pr.fiberOccupied(q) * dcscFiberCols / float64(pr.ColsB))
+	}
+	steps = append(steps, StepCost{Step: StepMergeFiber, WorkUnits: int64(unmergedL) + fiberScan + p64*b64})
 
 	cand.Steps = steps
 	for _, s := range steps {
@@ -345,6 +404,13 @@ func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int, sparse mp
 		cand.WorkUnits += s.WorkUnits
 	}
 	cand.ModelSeconds = cand.CommSeconds + float64(cand.WorkUnits)*in.SecPerWork
+
+	// Kernel and merger selection over the candidate's exact aggregates
+	// (speed attribution only — never part of ModelSeconds): multiplies
+	// scan each received piece on q ranks, merges scan the layer pieces
+	// once plus the fiber pieces.
+	pl.selectKernels(&cand, q64*colScanPieces,
+		int64(unmergedQL)+int64(unmergedL), colScanPieces+fiberScan)
 
 	// Peak memory under the runtime's flat accounting: inputs plus the
 	// unmerged stage products plus the merged layer output per batch, on
@@ -366,6 +432,12 @@ func (pl *Plan) predict(gs *gridStat, format spmat.Format, forceB int, sparse mp
 type Overlap struct {
 	// Q, B, L are the grid stages, batches, and layers.
 	Q, B, L int
+	// K is the modeled NIC channel count (core Options.Channels). Zero and
+	// one are the single-injection model: the A- and B-broadcasts of a
+	// stage share one hiding budget. With K ≥ 2 each stream claims its own
+	// channel, so both hide independently behind the same compute window —
+	// exactly what the runtime's per-channel claim ledger grants.
+	K int
 	// Symbolic marks whether the symbolic pass runs (and prefetches).
 	Symbolic bool
 	// CommSymbolicBcast is the broadcast share of the symbolic step's comm
@@ -389,12 +461,19 @@ func (o Overlap) Hidden() (sym, a, b, fiber float64) {
 	}
 	stages := o.B * o.Q
 	if stages > 1 {
-		perComm := (o.CommABcast + o.CommBBcast) / float64(stages)
 		perComp := o.CompMultiply / float64(stages)
-		hidden := float64(stages-1) * minf(perComm, perComp)
-		if tot := o.CommABcast + o.CommBBcast; tot > 0 {
-			a = hidden * o.CommABcast / tot
-			b = hidden * o.CommBBcast / tot
+		if o.K >= 2 {
+			// Two or more channels: the A and B streams each hide up to
+			// the full stage window, independently.
+			a = float64(stages-1) * minf(o.CommABcast/float64(stages), perComp)
+			b = float64(stages-1) * minf(o.CommBBcast/float64(stages), perComp)
+		} else {
+			perComm := (o.CommABcast + o.CommBBcast) / float64(stages)
+			hidden := float64(stages-1) * minf(perComm, perComp)
+			if tot := o.CommABcast + o.CommBBcast; tot > 0 {
+				a = hidden * o.CommABcast / tot
+				b = hidden * o.CommBBcast / tot
+			}
 		}
 	}
 	if o.L > 1 && o.B > 0 {
@@ -405,11 +484,12 @@ func (o Overlap) Hidden() (sym, a, b, fiber float64) {
 	return sym, a, b, fiber
 }
 
-// applyOverlap derives the pipelined variant of a staged candidate: the
-// overlap-ledger model moves the hideable share of each collective into
-// HiddenSeconds, with per-rank compute valued at SecPerWork over the
-// candidate's own work predictions.
-func (pl *Plan) applyOverlap(staged Candidate) Candidate {
+// applyOverlap derives the pipelined variant of a staged candidate under k
+// overlap channels: the overlap-ledger model moves the hideable share of each
+// collective into HiddenSeconds, with per-rank compute valued at SecPerWork
+// over the candidate's own work predictions. k ≤ 1 is the single-injection
+// model and leaves Config.Channels at its zero value (pre-knob spelling).
+func (pl *Plan) applyOverlap(staged Candidate, k int) Candidate {
 	p := float64(pl.In.P)
 	rate := pl.In.SecPerWork
 	perRank := func(step string) float64 {
@@ -422,7 +502,7 @@ func (pl *Plan) applyOverlap(staged Candidate) Candidate {
 		symBcast = 0
 	}
 	o := Overlap{
-		Q: pl.qFor(staged.L), B: staged.B, L: staged.L,
+		Q: pl.qFor(staged.L), B: staged.B, L: staged.L, K: k,
 		Symbolic:          pl.In.Symbolic,
 		CommSymbolicBcast: symBcast,
 		CommABcast:        staged.Step(StepABcast).CommSeconds,
@@ -436,6 +516,9 @@ func (pl *Plan) applyOverlap(staged Candidate) Candidate {
 
 	out := staged
 	out.Pipeline = true
+	if k >= 2 {
+		out.Channels = k
+	}
 	out.Steps = append([]StepCost(nil), staged.Steps...)
 	hide := map[string]float64{
 		StepSymbolic: hSym, StepABcast: hA, StepBBcast: hB, StepAllToAll: hFiber,

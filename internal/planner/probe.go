@@ -265,6 +265,30 @@ func (pr *Probe) outputImbalance(q int) float64 {
 	return max * float64(len(w)) / sum
 }
 
+// fiberOccupied estimates the occupied (row block, column) cells of the
+// output on a q-way row partition — Σ over destination ranks of the occupied
+// columns of their merged fiber piece, which is the column-scan work of an
+// all-DCSC Merge-Fiber. Each sampled column contributes its count of distinct
+// row blocks (its rows are sorted, so block transitions can be counted in one
+// pass); the sampled sum extrapolates by the probe's column scale.
+func (pr *Probe) fiberOccupied(q int) float64 {
+	if q < 1 || len(pr.sampleRows) == 0 {
+		return 0
+	}
+	rowB := spmat.PartBounds(pr.RowsA, q)
+	var cells int64
+	for _, rows := range pr.sampleRows {
+		last := -1
+		for _, r := range rows {
+			if i := partIndex(rowB, r); i != last {
+				cells++
+				last = i
+			}
+		}
+	}
+	return pr.scale * float64(cells)
+}
+
 // gridStat holds the exact per-block statistics of one candidate q×q×l grid:
 // nonzeros and occupied columns of every Ã and B̃ block, computed by one
 // O(nnz·log q + cols) pass per operand over the same PartBounds partitions

@@ -64,6 +64,26 @@ func (pl *Plan) Report() string {
 			s.Step, s.CommSeconds, s.HiddenSeconds, float64(s.WorkUnits)/1e6)
 	}
 
+	if best.Kernel != "" {
+		sb.WriteString("\nkernel selection (cost-table pricing of the chosen configuration's aggregates; speed only, never the ranking):\n")
+		writeSweep := func(label, pick string, names []string, sweep map[string]float64) {
+			for _, name := range names {
+				mark := ""
+				if name == pick {
+					mark = "  ← chosen"
+				}
+				fmt.Fprintf(&sb, "  %-8s %-16s %12.4g s%s\n", label, name, sweep[name], mark)
+				label = ""
+			}
+		}
+		writeSweep("kernel", best.Kernel, kernelNames, best.KernelSeconds)
+		writeSweep("merger", best.Merger, mergerNames, best.MergerSeconds)
+		if n := best.RegimeHeapCols + best.RegimeHashCols; n > 0 {
+			fmt.Fprintf(&sb, "  column regimes (of %d sampled): %d heap-favored (sparse columns), %d hash-favored (dense columns)\n",
+				n, best.RegimeHeapCols, best.RegimeHashCols)
+		}
+	}
+
 	sb.WriteString("\nwhy:\n")
 	for _, why := range pl.whyLines(best) {
 		sb.WriteString("  - " + why + "\n")
@@ -127,6 +147,21 @@ func (pl *Plan) whyLines(best *Candidate) []string {
 			out = append(out, fmt.Sprintf(
 				"pipeline: staged — the ledger model predicts only %.4g s hideable here, not enough to change the ranking (%s model s when overlapped)",
 				c.HiddenSeconds, rel(c)))
+		}
+	}
+	if best.Pipeline {
+		chOf := func(c *Candidate) int {
+			if c.Channels < 1 {
+				return 1
+			}
+			return c.Channels
+		}
+		if c := alt(func(c *Candidate) bool {
+			return c.L == best.L && c.Format == best.Format && c.Pipeline && c.Channels != best.Channels
+		}); c != nil {
+			out = append(out, fmt.Sprintf(
+				"channels: k=%d vs k=%d (%s model s): extra NIC channels let the A- and B-broadcast streams hide behind the same compute window instead of sharing one injection budget (hidden %.4g s vs %.4g s)",
+				chOf(best), chOf(c), rel(c), best.HiddenSeconds, c.HiddenSeconds))
 		}
 	}
 	return out

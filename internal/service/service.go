@@ -28,6 +28,15 @@ type Config struct {
 	MemBytes int64
 	// Threads is the intra-rank worker count for local kernels (0 = 1).
 	Threads int
+	// Kernels is the shared kernel/merger cost table every job feeds its
+	// measured multiply and merge times back into (online recalibration).
+	// nil = a fresh default table. Planning prices against a boot-time
+	// snapshot of this table — the table's fingerprint is part of every
+	// plan-cache key, so a live, continuously-refitting table would churn
+	// the keys and re-probe pairs the daemon promises are cache hits.
+	// Recalibration instead takes effect at the next boot, via spgemmd's
+	// -kernels persistence.
+	Kernels *costmodel.KernelTable
 }
 
 // Service is the multiply-as-a-service engine: resident matrices, cached
@@ -37,6 +46,9 @@ type Service struct {
 	reg   *Registry
 	plans *PlanCache
 	sched *Scheduler
+	// planKT is the boot-time snapshot of cfg.Kernels that planning and
+	// cache keys use; cfg.Kernels is the live table jobs observe into.
+	planKT *costmodel.KernelTable
 
 	probes     atomic.Int64 // planner probe+sweep executions (cache misses)
 	multiplies atomic.Int64 // completed multiply jobs
@@ -51,11 +63,15 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Machine.Name == "" {
 		cfg.Machine = costmodel.CoriKNL()
 	}
+	if cfg.Kernels == nil {
+		cfg.Kernels = costmodel.DefaultKernelTable()
+	}
 	return &Service{
-		cfg:   cfg,
-		reg:   NewRegistry(),
-		plans: NewPlanCache(),
-		sched: NewScheduler(cfg.MemBytes),
+		cfg:    cfg,
+		reg:    NewRegistry(),
+		plans:  NewPlanCache(),
+		sched:  NewScheduler(cfg.MemBytes),
+		planKT: cfg.Kernels.Clone(),
 	}, nil
 }
 
@@ -76,9 +92,14 @@ func (s *Service) runConfig() core.RunConfig {
 		Opts: core.Options{
 			MemBytes: s.cfg.MemBytes,
 			Threads:  s.cfg.Threads,
+			Kernels:  s.cfg.Kernels,
 		},
 	}
 }
+
+// Kernels exposes the shared cost table (for persistence: the daemon saves
+// it on shutdown and reloads it at boot, so recalibration survives restarts).
+func (s *Service) Kernels() *costmodel.KernelTable { return s.cfg.Kernels }
 
 // PlanResult is a planning decision plus its cache provenance.
 type PlanResult struct {
@@ -111,6 +132,9 @@ func (s *Service) Plan(aName, bName string) (PlanResult, error) {
 	}
 	rc := s.runConfig()
 	in := core.PlanInput(rc, s.cfg.Machine)
+	// Price (and key) against the boot-time snapshot: stable coefficients
+	// keep repeat pairs pure cache hits while the live table recalibrates.
+	in.Kernels = s.planKT
 	key := planner.CacheKey(ra.fp.Key(), rb.fp.Key(), in)
 	choice, hit, err := s.plans.PlanThrough(key, func() (planner.Choice, error) {
 		s.probes.Add(1)
@@ -254,6 +278,11 @@ type Stats struct {
 	Multiplies int64 `json:"multiplies"`
 	QueuedJobs int64 `json:"queued_jobs"`
 	PeakQueued int   `json:"peak_queued"`
+	// KernelObservations counts measured multiply/merge times fed into the
+	// shared cost table; KernelFingerprint identifies its current
+	// coefficients (it moves when recalibration refits them).
+	KernelObservations int64  `json:"kernel_observations"`
+	KernelFingerprint  string `json:"kernel_fingerprint"`
 	// MemBytes echoes the shared budget; P and Machine the cluster shape.
 	MemBytes int64  `json:"mem_bytes"`
 	P        int    `json:"p"`
@@ -272,8 +301,12 @@ func (s *Service) Stats() Stats {
 		Multiplies: s.multiplies.Load(),
 		QueuedJobs: s.queuedJobs.Load(),
 		PeakQueued: s.sched.PeakQueued(),
-		MemBytes:   s.cfg.MemBytes,
-		P:          s.cfg.P,
-		Machine:    s.cfg.Machine.Name,
+
+		KernelObservations: s.cfg.Kernels.Observations(),
+		KernelFingerprint:  s.cfg.Kernels.Fingerprint(),
+
+		MemBytes: s.cfg.MemBytes,
+		P:        s.cfg.P,
+		Machine:  s.cfg.Machine.Name,
 	}
 }

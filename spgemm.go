@@ -344,6 +344,13 @@ type Options struct {
 	// Requires c² | p; 0 means 1 (the pure ring algorithm). Ignored by
 	// AlgoSUMMA and the sparse×sparse Multiply.
 	Replication int
+	// Channels is the number of outstanding overlap channels the pipelined
+	// schedule may hide collectives behind — k NIC injection queues in the
+	// overlap-ledger model. 0 means 1 (the single-channel ledger). Like
+	// Kernel and Merger, the knob never changes output values or
+	// communication volume, only the modeled hidden share. Meaningful only
+	// with Pipeline.
+	Channels int
 }
 
 func (o Options) toCore() core.Options {
@@ -361,6 +368,7 @@ func (o Options) toCore() core.Options {
 		AutoTune:     o.AutoTune,
 		Algo:         o.Algo,
 		Replication:  o.Replication,
+		Channels:     o.Channels,
 	}
 }
 
