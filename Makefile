@@ -9,7 +9,7 @@ GO ?= go
 FUZZTIME ?= 30s
 GATE_TOL ?= 0.05
 
-.PHONY: all build test race vet doc bench bench-kernels cover fuzz perfgate baseline plan kernelgate serve soak ci
+.PHONY: all build test race vet doc bench bench-kernels bench-obs trace cover fuzz perfgate baseline plan kernelgate serve soak ci
 
 # all: the tier-1 gate (build + test), the default target.
 all: build test
@@ -135,6 +135,32 @@ bench-kernels:
 	  for(i=0;i<n;i++) printf "%s%s\n", vals[i], (i<n-1?",":""); print "  }"; print "}"}' \
 	> BENCH_kernels.json
 	@cat BENCH_kernels.json
+
+# trace: record one pinned gate shape (the overlapped Friendster fig-6
+# analogue) with the span recorder on and write the per-rank Chrome
+# trace-event timeline to trace.json — load it in chrome://tracing or
+# ui.perfetto.dev. `TRACE_SHAPE=<name>` picks another gate shape. The
+# nightly workflow uploads the artifact so every night's schedule can be
+# eyeballed against the gate numbers it produced.
+TRACE_SHAPE ?= fig6-friendster-overlapped
+trace:
+	$(GO) run ./cmd/spgemm-bench -trace trace.json -traceshape $(TRACE_SHAPE)
+
+# bench-obs: regenerate BENCH_obs.json — the measured cost of one metering
+# charge sequence (comm + compute + hidden) with tracing off vs on. The off
+# number is the tax every simulation pays for the observability hooks
+# (target: zero allocations, nanoseconds); the on number is what a traced
+# run pays per charge. Informational snapshot in the BENCH_kernels.json
+# style, not a gate — the hard zero-alloc requirement is enforced by
+# TestTracingDisabledAddsZeroAllocations in `make test`.
+bench-obs:
+	$(GO) test -run='^$$' -bench='TraceOverhead' -benchtime=500000x ./internal/mpi \
+	| awk 'BEGIN{n=0} /^cpu:/{cpu=$$0; sub(/^cpu: */,"",cpu)} /^goos:/{goos=$$2} \
+	  /^Benchmark/{name=$$1; sub(/^Benchmark/,"",name); vals[n]=sprintf("    \"%s\": %s",name,$$3); n++} \
+	  END{print "{"; printf "  \"cpu\": \"%s\",\n  \"goos\": \"%s\",\n  \"unit\": \"ns/op\",\n  \"regenerate\": \"make bench-obs\",\n  \"ns_per_op\": {\n", cpu, goos; \
+	  for(i=0;i<n;i++) printf "%s%s\n", vals[i], (i<n-1?",":""); print "  }"; print "}"}' \
+	> BENCH_obs.json
+	@cat BENCH_obs.json
 
 # ci: what the GitHub Actions workflow runs on every push and pull request —
 # build, static analysis, gofmt hygiene (doc), the full test suite, the race

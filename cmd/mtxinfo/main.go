@@ -15,12 +15,18 @@
 // which local-multiply kernel and merge strategy the cost table picks for
 // the candidate's column regimes, and the priced sweep it beat.
 //
+// With -plan -trace out.json it additionally renders the winning candidate's
+// predicted schedule as a Chrome trace-event timeline: one comm, compute,
+// and hidden span per paper step, so the plan the autotuner argues from can
+// be eyeballed in chrome://tracing before anything runs.
+//
 // Usage:
 //
 //	mtxinfo graph.mtx
 //	mtxinfo -mem 1e9 -procs 64 -layers 4 graph.mtx
 //	mtxinfo -grid 2x2x16 reads.mtx
 //	mtxinfo -plan -machine knl -p 1024 -mem 4GB graph.mtx
+//	mtxinfo -plan -trace plan.json graph.mtx
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/distmat"
 	"repro/internal/genmat"
 	"repro/internal/localmm"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/spmat"
 )
@@ -48,6 +55,7 @@ func main() {
 		gridSh  = flag.String("grid", "", "per-block hypersparsity report for a RxCxL process grid, e.g. 2x2x16 (R must equal C)")
 		plan    = flag.Bool("plan", false, "run the analytical autotuner for the self-product and print the ranked configurations with per-step predicted costs")
 		machine = flag.String("machine", "knl", "with -plan: machine model (knl | haswell | knl-ht | local)")
+		trace   = flag.String("trace", "", "with -plan: write the winning candidate's predicted schedule as Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -112,6 +120,14 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(pl.Report())
+		if *trace != "" {
+			if err := writePlanTrace(*trace, pl); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote predicted-schedule trace to %s (open in chrome://tracing)\n", *trace)
+		}
+	} else if *trace != "" {
+		fatal(fmt.Errorf("-trace needs -plan (it renders the planner's predicted schedule)"))
 	}
 
 	if *gridSh != "" {
@@ -123,6 +139,36 @@ func main() {
 		reportBlocks("A-style blocks (Ã of A)", aBlocks(a, q, l))
 		reportBlocks("B-style blocks (B̃ of the pair operand)", bBlocks(b, q, l))
 	}
+}
+
+// writePlanTrace synthesizes a one-rank timeline from the winning
+// candidate's per-step predictions: for each paper step, an exposed comm
+// span (the predicted critical-path communication), a compute span (the
+// step's work share of one rank at the plan's work rate), and a hidden span
+// for whatever the overlap model predicts the pipelined schedule hides. The
+// result is a *predicted* schedule — compare it against a measured
+// `spgemm-bench -trace` timeline of the same shape.
+func writePlanTrace(path string, pl *planner.Plan) error {
+	best := pl.Best()
+	if best == nil {
+		return fmt.Errorf("no feasible plan to trace")
+	}
+	rec := obs.NewRecorder(1)
+	r := rec.Rank(0)
+	p := float64(pl.In.P)
+	for _, st := range best.Steps {
+		if st.CommSeconds > 0 {
+			r.Record(st.Step, obs.KindComm, st.CommSeconds, 0, 0, 0)
+		}
+		if st.WorkUnits > 0 {
+			r.Record(st.Step, obs.KindCompute,
+				float64(st.WorkUnits)/p*pl.In.SecPerWork, 0, 0, st.WorkUnits)
+		}
+		if st.HiddenSeconds > 0 {
+			r.Record(st.Step, obs.KindHidden, st.HiddenSeconds, 0, 0, 0)
+		}
+	}
+	return rec.WriteTraceFile(path)
 }
 
 // parseGrid parses "RxCxL" with R == C, rejecting trailing garbage.

@@ -40,6 +40,11 @@
 //	    # spgemmd-client mode: drive a running spgemmd daemon with the
 //	    # service soak duty cycle instead of simulating in-process
 //
+//	spgemm-bench -trace out.json                              # re-run one
+//	    # pinned gate shape with span recording on and write the per-rank
+//	    # Chrome/Perfetto trace (load in chrome://tracing or ui.perfetto.dev)
+//	spgemm-bench -trace out.json -traceshape fig6-friendster-staged
+//
 // Scales: tiny (seconds), small (default), large (minutes).
 package main
 
@@ -78,6 +83,8 @@ func main() {
 		plangate = flag.Bool("plangate", false, "planner-vs-oracle gate: exit 1 when the planner's pick is more than -tol above the exhaustive sweep's best modeled critical path")
 		kerngate = flag.Bool("kernelgate", false, "kernel/merger-selection gate: exit 1 when the planner's kernel or merger pick prices more than -tol above the exhaustive option sweep on measured aggregates, or a differential run is not bit-identical")
 		server   = flag.String("server", "", "spgemmd-client mode: base URL of a running spgemmd (e.g. http://127.0.0.1:8347); drives the remote daemon with the service soak instead of running in-process")
+		traceOut = flag.String("trace", "", "re-run one pinned gate shape with span recording on and write its per-rank Chrome trace-event JSON to this path (loadable in chrome://tracing / Perfetto)")
+		trShape  = flag.String("traceshape", "fig6-friendster-overlapped", "with -trace: which pinned gate shape to record")
 		jsonPath = flag.String("json", "", "with -gate: write the stats dump (BENCH_pr3.json) to this path")
 		baseline = flag.String("baseline", "", "with -gate: compare against this checked-in baseline and exit nonzero on regression")
 		tol      = flag.Float64("tol", 0, "relative tolerance: modeled critical-path regression for -gate -baseline (default 5%), planner-vs-oracle gap for -plangate (default 10%); an explicit 0 means strict")
@@ -92,6 +99,11 @@ func main() {
 			tolSet = true
 		}
 	})
+
+	if *traceOut != "" {
+		runTrace(*traceOut, *trShape)
+		return
+	}
 
 	if *server != "" {
 		sc, err := experiments.ParseScale(*scale)
@@ -217,6 +229,23 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runTrace re-runs one pinned gate shape with the span recorder attached and
+// writes the Chrome trace-event document. The run is exactly the gate's
+// configuration, so the timeline shows the schedule the gate numbers measure.
+func runTrace(path, shape string) {
+	start := time.Now()
+	rec, sum, err := experiments.RunTraceShape(shape)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.WriteTraceFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("traced %s: %d spans across %d ranks, modeled critical path %.6gs (%v)\n",
+		shape, len(rec.Spans()), sum.Ranks, sum.CriticalPathSeconds, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
 }
 
 // runServiceClient is the spgemmd-client mode: it drives a remote daemon

@@ -6,9 +6,11 @@
 //	POST /load      make a matrix resident (wire bytes, Matrix Market text,
 //	                or a server-side deterministic generator)
 //	POST /plan      the (cached) planner decision for a resident pair
-//	POST /multiply  plan, admit, and execute one job
-//	GET  /stats     plan-cache, probe, admission, and job counters
+//	POST /multiply  plan, admit, and execute one job (?trace=1 returns the
+//	                job's per-rank Chrome/Perfetto trace)
+//	GET  /stats     plan-cache, probe, admission, and job counters (JSON)
 //	GET  /matrices  resident matrices and their fingerprints
+//	GET  /metrics   the same telemetry in Prometheus text format
 //
 // Usage:
 //
@@ -18,6 +20,14 @@
 //	spgemmd -kernels kernels.json             # persist the recalibrated
 //	    # kernel/merger cost table: loaded at boot if the file exists, saved
 //	    # on SIGINT/SIGTERM, so measured-speed calibration survives restarts
+//	spgemmd -tracedir traces                  # write every job's span trace
+//	    # to traces/job-<id>.json
+//	spgemmd -pprof                            # mount net/http/pprof under
+//	    # /debug/pprof/ for live profiling
+//
+// Logs are structured (log/slog, text format, stderr): every completed job
+// logs one line with its job ID, operand fingerprints, plan-cache outcome,
+// queue wait, and duration.
 //
 // Clients: `spgemm-bench -server URL -exp service` drives a soak workload;
 // `mcl -server URL`, the examples, and any HTTP client speak the same API.
@@ -29,8 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -41,14 +52,20 @@ import (
 	"repro/internal/service"
 )
 
+// logger is the process-wide structured logger; the service shares it for
+// its per-job lines.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8347", "listen address")
-		p       = flag.Int("p", 16, "rank count every job runs on")
-		machine = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
-		memStr  = flag.String("mem", "", "aggregate memory budget shared by concurrent jobs, with optional suffix: 4GB, 512MB, 1e9 (empty = unconstrained)")
-		threads = flag.Int("threads", 1, "worker goroutines per rank in local kernels")
-		kernels = flag.String("kernels", "", "kernel/merger cost-table file: loaded at boot when present, saved on SIGINT/SIGTERM (empty = in-memory only, recalibration lost on exit)")
+		addr      = flag.String("addr", "127.0.0.1:8347", "listen address")
+		p         = flag.Int("p", 16, "rank count every job runs on")
+		machine   = flag.String("machine", "knl", "machine model: knl | haswell | knl-ht | local")
+		memStr    = flag.String("mem", "", "aggregate memory budget shared by concurrent jobs, with optional suffix: 4GB, 512MB, 1e9 (empty = unconstrained)")
+		threads   = flag.Int("threads", 1, "worker goroutines per rank in local kernels")
+		kernels   = flag.String("kernels", "", "kernel/merger cost-table file: loaded at boot when present, saved on SIGINT/SIGTERM (empty = in-memory only, recalibration lost on exit)")
+		traceDir  = flag.String("tracedir", "", "directory for per-job span traces (job-<id>.json, Chrome trace-event format); created if missing (empty = no capture)")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -64,7 +81,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc, err := service.New(service.Config{P: *p, Machine: m, MemBytes: mem, Threads: *threads, Kernels: kt})
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(fmt.Errorf("-tracedir: %w", err))
+		}
+	}
+	svc, err := service.New(service.Config{
+		P: *p, Machine: m, MemBytes: mem, Threads: *threads, Kernels: kt,
+		Logger: logger, TraceDir: *traceDir,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -75,17 +100,30 @@ func main() {
 		go func() {
 			<-sig
 			if err := saveKernels(*kernels, svc.Kernels()); err != nil {
-				log.Printf("spgemmd: saving kernel table: %v", err)
+				logger.Error("saving kernel table failed", "path", *kernels, "error", err)
 				os.Exit(1)
 			}
-			log.Printf("spgemmd: saved kernel table to %s (%d observations)",
-				*kernels, svc.Kernels().Observations())
+			logger.Info("kernel table saved", "path", *kernels,
+				"observations", svc.Kernels().Observations())
 			os.Exit(0)
 		}()
 	}
 
-	log.Printf("spgemmd: serving on %s (p=%d machine=%s mem=%d threads=%d)", *addr, *p, m.Name, mem, *threads)
-	if err := http.ListenAndServe(*addr, service.Handler(svc)); err != nil {
+	handler := service.Handler(svc)
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	logger.Info("serving", "addr", *addr, "p", *p, "machine", m.Name,
+		"mem_bytes", mem, "threads", *threads, "pprof", *pprofFlag, "tracedir", *traceDir)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
 }
@@ -107,8 +145,8 @@ func loadKernels(path string) (*costmodel.KernelTable, error) {
 	if err := json.Unmarshal(data, kt); err != nil {
 		return nil, fmt.Errorf("-kernels %s: %w", path, err)
 	}
-	log.Printf("spgemmd: loaded kernel table from %s (%d observations, fingerprint %s)",
-		path, kt.Observations(), kt.Fingerprint())
+	logger.Info("kernel table loaded", "path", path,
+		"observations", kt.Observations(), "fingerprint", kt.Fingerprint())
 	return kt, nil
 }
 

@@ -81,7 +81,11 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	// stage-0 broadcasts are already in flight, so its measured compute is
 	// genuine hiding credit instead of serialized schedule time.
 	meter := g.World.Meter()
+	tr := meter.Recorder()
 	extract := func(t int) spmat.Matrix {
+		// Extraction prepares batch t, so its spans carry t's label even when
+		// the pipelined schedule hoists it into batch t-1's stage loop.
+		tr.SetBatch(t)
 		meter.SetCategory(StepExtract)
 		cols := p.bt.BatchCols(t)
 		var piece spmat.Matrix
@@ -98,6 +102,7 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 		if p.Opts.Pipeline && t+1 < b {
 			bNext = extract(t + 1)
 		}
+		tr.SetBatch(t)
 		cPiece, offsets := p.summa3DBatch(t, bCur, bNext, res)
 		switch {
 		case bNext != nil:
@@ -130,6 +135,7 @@ func (p *Proc) BatchedSUMMA3D(hook BatchHook) (*Result, error) {
 	// format (all-DCSC batches concatenate in O(nnz), spmat.HCatMat) and is
 	// metered under the StepAssemble aux category, on the overlap ledger like
 	// every other local compute.
+	tr.SetBatch(-1)
 	meter.SetCategory(StepAssemble)
 	var totalNNZ int64
 	for _, piece := range pieces {

@@ -96,9 +96,11 @@ func (l *overlapLedger) creditSince(post float64) float64 {
 // claim consumes used seconds of unclaimed compute in [post, clock) on the
 // channel with the most credit there (lowest index on ties), earliest first,
 // so no other request can hide behind the same compute on the same channel.
-func (l *overlapLedger) claim(post, used float64) {
+// It returns the channel claimed, or -1 when nothing was consumed — the
+// trace layer tags the just-recorded hidden span with it.
+func (l *overlapLedger) claim(post, used float64) int {
 	if used <= 0 {
-		return
+		return -1
 	}
 	l.ensure()
 	ch, best := 0, l.unclaimedIn(l.claimed[0], post)
@@ -108,6 +110,7 @@ func (l *overlapLedger) claim(post, used float64) {
 		}
 	}
 	l.claimed[ch] = l.claimOn(l.claimed[ch], post, used)
+	return ch
 }
 
 // claimOn consumes used seconds on one channel's claim list and returns the

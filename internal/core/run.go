@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/spmat"
 )
 
@@ -22,6 +23,11 @@ type RunConfig struct {
 	Cost mpi.CostModel
 	// Opts are the algorithm options shared by all ranks.
 	Opts Options
+	// Trace, when non-nil, records one obs span per metered interval of every
+	// rank (batch/stage/channel labeled), exportable afterwards as a
+	// Chrome/Perfetto trace via Trace.WriteTrace. Nil — the default — records
+	// nothing and adds zero allocations to the metered hot paths.
+	Trace *obs.Recorder
 }
 
 // Validate checks the grid shape.
@@ -65,7 +71,7 @@ func Multiply(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) (*spmat.CSC, []*
 	results := make([]*Result, rc.P)
 	errs := make([]error, rc.P)
 	var mu sync.Mutex
-	meters := mpi.Run(rc.P, rc.Cost, func(c *mpi.Comm) {
+	meters := mpi.RunTraced(rc.P, rc.Cost, rc.Trace, func(c *mpi.Comm) {
 		g, err := grid.New(c, rc.L)
 		if err != nil {
 			mu.Lock()
@@ -121,7 +127,7 @@ func MultiplyDiscard(a, b *spmat.CSC, rc RunConfig, hooks HookFactory) ([]*Resul
 	discard := func(batch int, cols []int32, c *spmat.CSC) *spmat.CSC {
 		return spmat.New(c.Rows, c.Cols)
 	}
-	meters := mpi.Run(rc.P, rc.Cost, func(c *mpi.Comm) {
+	meters := mpi.RunTraced(rc.P, rc.Cost, rc.Trace, func(c *mpi.Comm) {
 		g, err := grid.New(c, rc.L)
 		if err == nil {
 			var proc *Proc

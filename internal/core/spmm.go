@@ -120,7 +120,7 @@ func MultiplyDense(a *spmat.CSC, b *spmat.DenseMat, rc RunConfig) (*spmat.DenseM
 	results := make([]*DenseResult, rc.P)
 	errs := make([]error, rc.P)
 	var mu sync.Mutex
-	meters := mpi.Run(rc.P, rc.Cost, func(c *mpi.Comm) {
+	meters := mpi.RunTraced(rc.P, rc.Cost, rc.Trace, func(c *mpi.Comm) {
 		g, err := grid.New15(c, opts.Replication)
 		var res *DenseResult
 		if err == nil {
@@ -206,7 +206,7 @@ func (p *denseProc) shiftRing(cur mpi.Payload, req *mpi.BcastRequest, post float
 	m.SetCategory(cat)
 	if req != nil {
 		pay, used := req.WaitOverlap(p.led.creditSince(post), hiddenCat)
-		p.led.claim(post, used)
+		m.Recorder().TagChannel(p.led.claim(post, used))
 		return pay
 	}
 	return p.g.Ring.Shift(1, cur)
@@ -248,8 +248,10 @@ func (p *denseProc) runColA(a *spmat.CSC, b *spmat.DenseMat) error {
 	m.SetCategory(StepABcast)
 	cur := g.Skew.Bcast(0, startPay).(spmat.Matrix)
 
+	tr := m.Recorder()
 	pieces := make([]*spmat.DenseMat, nb)
 	for t := 0; t < nb; t++ {
+		tr.SetBatch(t)
 		lo, hi := myLo+batch[t], myLo+batch[t+1]
 		// One-time (per batch slice): replicate the stationary B panel along
 		// the fiber from its layer-0 owner.
@@ -263,6 +265,7 @@ func (p *denseProc) runColA(a *spmat.CSC, b *spmat.DenseMat) error {
 		acc := spmat.NewDense(a.Rows, hi-lo)
 		blk := start
 		for r := 0; r < R; r++ {
+			tr.SetStage(r)
 			// The shift ships the block we hold now; pipelined mode posts it
 			// before the multiply so the exchange hides behind compute. The
 			// last round of the last batch has nothing left to move; between
@@ -292,6 +295,7 @@ func (p *denseProc) runColA(a *spmat.CSC, b *spmat.DenseMat) error {
 				blk = (blk + 1) % g.S
 			}
 		}
+		tr.SetStage(-1)
 		if t < nb-1 && R > 1 {
 			// Rewind the ring walk for the next batch.
 			m.SetCategory(StepABcast)
@@ -300,6 +304,7 @@ func (p *denseProc) runColA(a *spmat.CSC, b *spmat.DenseMat) error {
 		}
 		pieces[t] = p.reduceFiber(acc)
 	}
+	tr.SetBatch(-1)
 	p.res.C = p.assemblePieces(pieces)
 	return nil
 }
@@ -345,8 +350,10 @@ func (p *denseProc) runInnerABC(a *spmat.CSC, b *spmat.DenseMat) error {
 	}
 
 	start := g.StartBlock()
+	tr := m.Recorder()
 	pieces := make([]*spmat.DenseMat, nb)
 	for t := 0; t < nb; t++ {
+		tr.SetBatch(t)
 		dl, dh := dBounds[t], dBounds[t+1]
 		// Distribute each walk's starting B block along the skew fiber from
 		// its canonical layer-0 owner.
@@ -360,6 +367,7 @@ func (p *denseProc) runInnerABC(a *spmat.CSC, b *spmat.DenseMat) error {
 		acc := spmat.NewDense(rh-rl, dh-dl)
 		blk := start
 		for r := 0; r < R; r++ {
+			tr.SetStage(r)
 			var req *mpi.BcastRequest
 			var post float64
 			if r < R-1 && opts.Pipeline {
@@ -382,8 +390,10 @@ func (p *denseProc) runInnerABC(a *spmat.CSC, b *spmat.DenseMat) error {
 				blk = (blk + 1) % g.S
 			}
 		}
+		tr.SetStage(-1)
 		pieces[t] = p.reduceFiber(acc)
 	}
+	tr.SetBatch(-1)
 	p.res.C = p.assemblePieces(pieces)
 	return nil
 }

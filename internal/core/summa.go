@@ -67,10 +67,10 @@ func (p *Proc) waitStageBcasts(sb stageBcasts, aCat, aHidden, bCat, bHidden stri
 	led := &p.pipe.ledger
 	meter.SetCategory(aCat)
 	aPay, used := sb.a.WaitOverlap(led.creditSince(sb.post), aHidden)
-	led.claim(sb.post, used)
+	meter.Recorder().TagChannel(led.claim(sb.post, used))
 	meter.SetCategory(bCat)
 	bPay, used := sb.b.WaitOverlap(led.creditSince(sb.post), bHidden)
-	led.claim(sb.post, used)
+	meter.Recorder().TagChannel(led.claim(sb.post, used))
 	return aPay.(spmat.Matrix), bPay.(spmat.Matrix)
 }
 
@@ -105,7 +105,9 @@ func (p *Proc) forEachStage(bBatch, bNextBatch spmat.Matrix, res *Result, consum
 			next = p.postStageBcasts(0, bBatch)
 		}
 	}
+	tr := meter.Recorder()
 	for s := 0; s < stages; s++ {
+		tr.SetStage(s)
 		cur := next
 		if !pipe {
 			cur = p.postStageBcasts(s, bBatch)
@@ -150,6 +152,7 @@ func (p *Proc) forEachStage(bBatch, bNextBatch spmat.Matrix, res *Result, consum
 		meter.AddComputeWork(sec, stageFlops+bRecv.NNZ()+scanCols+1)
 		consume(prod)
 	}
+	tr.SetStage(-1)
 }
 
 // stageProducts runs the stage loop and collects every stage's partial
@@ -316,7 +319,7 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, re
 		req := g.Fiber.IalltoallvStart(send)
 		meter.SetCategory(StepAllToAll)
 		recv, used := req.WaitOverlap(led.creditSince(post), StepAllToAllHidden)
-		led.claim(post, used)
+		meter.Recorder().TagChannel(led.claim(post, used))
 		recv[g.K] = pieces[g.K] // the own piece never travels
 		accRows, _ := acc.Dims()
 		return p.mergeFiber(t, accRows, recv, res)
@@ -379,7 +382,7 @@ func (p *Proc) summa3DBatchOverlapped(t int, bBatch, bNextBatch spmat.Matrix, re
 
 	meter.SetCategory(StepAllToAll)
 	recv, used := req.WaitOverlap(led.creditSince(post), StepAllToAllHidden)
-	led.claim(post, used)
+	meter.Recorder().TagChannel(led.claim(post, used))
 	recv[g.K] = own // the own piece never travels
 	ownRows, _ := own.Dims()
 	return p.mergeFiber(t, ownRows, recv, res)

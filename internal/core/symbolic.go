@@ -40,7 +40,9 @@ func (p *Proc) Symbolic3D() (b int, maxNNZC int64, err error) {
 	if pipe {
 		next = p.postStageBcasts(0, p.LocalB)
 	}
+	tr := meter.Recorder()
 	for s := 0; s < stages; s++ {
+		tr.SetStage(s)
 		cur := next
 		if !pipe {
 			cur = p.postStageBcasts(s, p.LocalB)
@@ -62,6 +64,7 @@ func (p *Proc) Symbolic3D() (b int, maxNNZC int64, err error) {
 		})
 		meter.AddComputeWork(symSec, symFlops+bRecv.NNZ()+colScanWork(bRecv)+1)
 	}
+	tr.SetStage(-1)
 
 	// Alg 3 lines 9–11: max unmerged output, max Ã, max B̃ over all ranks.
 	// The input terms are the per-format modeled footprints, not flat

@@ -197,7 +197,9 @@ func completeOverlap(m *Meter, bytes int64, cost, credit float64, hiddenCat stri
 	}
 	m.addComm(1, bytes, cost-hidden)
 	if hidden > 0 && hiddenCat != "" {
-		m.get(hiddenCat).HiddenSeconds += hidden
+		// addHidden also records the hidden span as the most recent one, which
+		// is what lets the overlap ledger's claim site tag it with a channel.
+		m.addHidden(hiddenCat, hidden)
 	}
 	return hidden
 }

@@ -3,6 +3,8 @@ package mpi
 import (
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // computeGate serializes timed kernel execution across the ranks of one
@@ -55,6 +57,12 @@ func MeasureCompute(fn func()) float64 {
 type Meter struct {
 	cat   string
 	stats map[string]*StepStats
+	// rec, when non-nil, receives one obs span per charge, recorded with the
+	// exact value each accumulator was incremented by (the trace↔meter
+	// identity). The nil recorder's methods are no-ops, so every charge path
+	// calls it unconditionally with zero extra allocations when tracing is
+	// off.
+	rec *obs.RankRecorder
 }
 
 // StepStats is the per-category accumulation.
@@ -100,6 +108,15 @@ func NewMeter() *Meter {
 	return &Meter{cat: "default", stats: make(map[string]*StepStats)}
 }
 
+// SetRecorder attaches a per-rank span recorder (nil detaches, turning
+// tracing off). RunTraced calls this for every rank's meter.
+func (m *Meter) SetRecorder(r *obs.RankRecorder) { m.rec = r }
+
+// Recorder returns the attached span recorder. It is nil when tracing is
+// off; the nil recorder's methods are no-ops, so callers (schedule label and
+// channel-tag sites) use the result unconditionally.
+func (m *Meter) Recorder() *obs.RankRecorder { return m.rec }
+
 // SetCategory directs subsequent charges to the named step.
 func (m *Meter) SetCategory(cat string) { m.cat = cat }
 
@@ -120,11 +137,21 @@ func (m *Meter) addComm(msgs, bytes int64, seconds float64) {
 	s.Messages += msgs
 	s.Bytes += bytes
 	s.CommSeconds += seconds
+	m.rec.Record(m.cat, obs.KindComm, seconds, msgs, bytes, 0)
+}
+
+// addHidden charges modeled communication time that overlapped with compute
+// to cat's HiddenSeconds (the split collectives' WaitOverlap attribution)
+// and records the matching hidden span.
+func (m *Meter) addHidden(cat string, seconds float64) {
+	m.get(cat).HiddenSeconds += seconds
+	m.rec.Record(cat, obs.KindHidden, seconds, 0, 0, 0)
 }
 
 // AddCompute charges measured compute seconds to the current category.
 func (m *Meter) AddCompute(seconds float64) {
 	m.get(m.cat).ComputeSeconds += seconds
+	m.rec.Record(m.cat, obs.KindCompute, seconds, 0, 0, 0)
 }
 
 // AddComputeWork charges measured compute seconds together with the abstract
@@ -133,12 +160,14 @@ func (m *Meter) AddComputeWork(seconds float64, work int64) {
 	s := m.get(m.cat)
 	s.ComputeSeconds += seconds
 	s.WorkUnits += work
+	m.rec.Record(m.cat, obs.KindCompute, seconds, 0, 0, work)
 }
 
 // AddCommSeconds charges extra modeled communication time to the current
 // category (used for machine-model adjustments such as hyper-threading).
 func (m *Meter) AddCommSeconds(seconds float64) {
 	m.get(m.cat).CommSeconds += seconds
+	m.rec.Record(m.cat, obs.KindComm, seconds, 0, 0, 0)
 }
 
 // Timed runs fn, charging its wall time as compute to the current category.
@@ -186,6 +215,7 @@ func (m *Meter) Scale(f float64) {
 		s.HiddenSeconds *= f
 		s.ComputeSeconds *= f
 	}
+	m.rec.Scale(f)
 }
 
 // ScaleCompute multiplies only measured compute times by f.
@@ -193,6 +223,7 @@ func (m *Meter) ScaleCompute(f float64) {
 	for _, s := range m.stats {
 		s.ComputeSeconds *= f
 	}
+	m.rec.ScaleCompute(f)
 }
 
 // ScaleComm multiplies only modeled communication times by f.
@@ -201,6 +232,7 @@ func (m *Meter) ScaleComm(f float64) {
 		s.CommSeconds *= f
 		s.HiddenSeconds *= f
 	}
+	m.rec.ScaleComm(f)
 }
 
 // Summary aggregates the meters of all ranks into the numbers the paper

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Payload is anything that knows its wire size; matrices implement it via
@@ -359,6 +361,14 @@ func (c *Comm) Split(color, key int) *Comm {
 // cost model, and returns each rank's meter. If any rank panics, Run panics
 // with the first failure after all ranks have stopped.
 func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
+	return RunTraced(p, cm, nil, fn)
+}
+
+// RunTraced is Run with a span recorder attached: when rec is non-nil, every
+// rank's meter records one obs span per metered interval (rec.Rank(r) feeds
+// rank r), exportable afterwards as a Chrome/Perfetto trace. A nil rec is
+// exactly Run — tracing off, zero extra allocations on the charge paths.
+func RunTraced(p int, cm CostModel, rec *obs.Recorder, fn func(c *Comm)) []*Meter {
 	if p <= 0 {
 		panic(fmt.Sprintf("mpi: Run with %d ranks", p))
 	}
@@ -370,6 +380,7 @@ func Run(p int, cm CostModel, fn func(c *Comm)) []*Meter {
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		meters[r] = NewMeter()
+		meters[r].SetRecorder(rec.Rank(r))
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()

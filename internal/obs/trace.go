@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceEvent is one Chrome trace-event object. Ts/Dur are microseconds (the
+// format's unit); fractional values are allowed and we use them, since
+// modeled comm costs are routinely sub-microsecond at tiny scales.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON-object form of the trace-event format ("traceEvents"
+// plus top-level metadata), which both chrome://tracing and Perfetto load.
+type traceDoc struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+const (
+	pidExposed = 0 // exposed timeline: modeled comm + measured compute
+	pidHidden  = 1 // hidden (overlapped) communication, same tid = rank
+)
+
+// events renders the recorder as trace events: per-rank thread metadata,
+// then one complete ("X") event per span. Exposed spans go on pid 0, hidden
+// spans on pid 1 with the same tid, so a hidden interval that straddles
+// compute spans never violates the viewer's stack nesting.
+func (r *Recorder) events() []traceEvent {
+	if r == nil {
+		return nil
+	}
+	var evs []traceEvent
+	meta := func(pid int, procName string) {
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": procName},
+		})
+	}
+	meta(pidExposed, "exposed timeline (modeled comm + measured compute)")
+	meta(pidHidden, "hidden (overlapped) communication")
+	for i := range r.ranks {
+		for _, pid := range []int{pidExposed, pidHidden} {
+			evs = append(evs, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", i)},
+			})
+		}
+	}
+	for _, rr := range r.ranks {
+		for _, sp := range rr.spans {
+			pid := pidExposed
+			if sp.Kind == KindHidden {
+				pid = pidHidden
+			}
+			args := map[string]any{"kind": sp.Kind.String()}
+			if sp.Msgs != 0 {
+				args["msgs"] = sp.Msgs
+			}
+			if sp.Bytes != 0 {
+				args["bytes"] = sp.Bytes
+			}
+			if sp.Work != 0 {
+				args["work_units"] = sp.Work
+			}
+			if sp.Batch >= 0 {
+				args["batch"] = sp.Batch
+			}
+			if sp.Stage >= 0 {
+				args["stage"] = sp.Stage
+			}
+			if sp.Channel >= 0 {
+				args["channel"] = sp.Channel
+			}
+			dur := sp.Dur * 1e6
+			evs = append(evs, traceEvent{
+				Name: sp.Cat, Cat: sp.Kind.String(), Ph: "X",
+				Pid: pid, Tid: sp.Rank,
+				Ts: sp.Start * 1e6, Dur: &dur,
+				Args: args,
+			})
+		}
+	}
+	return evs
+}
+
+// WriteTrace writes the run as Chrome trace-event JSON, loadable in
+// chrome://tracing or ui.perfetto.dev.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	doc := traceDoc{
+		TraceEvents: r.events(),
+		OtherData: map[string]any{
+			"spans": len(r.Spans()),
+			"ranks": r.Ranks(),
+			"units": "ts/dur in microseconds of modeled+measured seconds",
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// TraceJSON returns the trace-event document as a JSON byte slice.
+func (r *Recorder) TraceJSON() ([]byte, error) {
+	return json.Marshal(traceDoc{
+		TraceEvents: r.events(),
+		OtherData: map[string]any{
+			"spans": len(r.Spans()),
+			"ranks": r.Ranks(),
+		},
+	})
+}
+
+// WriteTraceFile writes the trace-event JSON to path (0644, truncating).
+func (r *Recorder) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

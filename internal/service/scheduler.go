@@ -102,3 +102,17 @@ func (s *Scheduler) PeakQueued() int {
 	defer s.mu.Unlock()
 	return s.peakQueued
 }
+
+// Queued returns the current wait-queue depth (jobs blocked in Acquire).
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// UsedBytes returns the sum of currently admitted reservations.
+func (s *Scheduler) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

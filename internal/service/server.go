@@ -166,19 +166,25 @@ type MultiplyResponse struct {
 	ComputeSeconds      float64    `json:"compute_seconds"`
 	Queued              bool       `json:"queued"`
 	QueueSeconds        float64    `json:"queue_seconds"`
+	JobID               int64      `json:"job_id"`
 	Result              string     `json:"result,omitempty"`
+	// Trace is the job's Chrome trace-event document, present when the
+	// request asked for it (body field or ?trace=1).
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // Handler returns the service's HTTP mux:
 //
 //	POST /load      LoadRequest      → LoadResponse
 //	POST /plan      PlanRequest      → PlanResult
-//	POST /multiply  MultiplyRequest  → MultiplyResponse
+//	POST /multiply  MultiplyRequest  → MultiplyResponse (?trace=1 adds the trace)
 //	GET  /stats                      → Stats
 //	GET  /matrices                   → []MatrixInfo
+//	GET  /metrics                    → Prometheus text exposition
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) {
+		s.requests[epLoad].Add(1)
 		var req LoadRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "bad_request", err)
@@ -198,6 +204,7 @@ func Handler(s *Service) http.Handler {
 		writeJSON(w, LoadResponse{Name: req.Name, Fingerprint: fp, AlreadyLoaded: already})
 	})
 	mux.HandleFunc("POST /plan", func(w http.ResponseWriter, r *http.Request) {
+		s.requests[epPlan].Add(1)
 		var req PlanRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "bad_request", err)
@@ -212,10 +219,14 @@ func Handler(s *Service) http.Handler {
 		writeJSON(w, res)
 	})
 	mux.HandleFunc("POST /multiply", func(w http.ResponseWriter, r *http.Request) {
+		s.requests[epMultiply].Add(1)
 		var req MultiplyRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "bad_request", err)
 			return
+		}
+		if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+			req.Trace = true
 		}
 		res, err := s.Multiply(req)
 		if err != nil {
@@ -232,17 +243,30 @@ func Handler(s *Service) http.Handler {
 			ComputeSeconds:      res.ComputeSeconds,
 			Queued:              res.Queued,
 			QueueSeconds:        res.QueueSeconds,
+			JobID:               res.JobID,
 		}
 		if res.C != nil {
 			resp.Result = base64.StdEncoding.EncodeToString(res.C.Serialize())
 		}
+		if req.Trace && res.Trace != nil {
+			if buf, err := res.Trace.TraceJSON(); err == nil {
+				resp.Trace = buf
+			}
+		}
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s.requests[epStats].Add(1)
 		writeJSON(w, s.Stats())
 	})
 	mux.HandleFunc("GET /matrices", func(w http.ResponseWriter, r *http.Request) {
+		s.requests[epMatrices].Add(1)
 		writeJSON(w, s.reg.List())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.requests[epMetrics].Add(1)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
 	})
 	return mux
 }

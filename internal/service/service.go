@@ -2,11 +2,15 @@ package service
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/semiring"
 	"repro/internal/spmat"
@@ -37,6 +41,15 @@ type Config struct {
 	// Recalibration instead takes effect at the next boot, via spgemmd's
 	// -kernels persistence.
 	Kernels *costmodel.KernelTable
+	// Logger receives the structured job logs (one line per completed or
+	// failed job, carrying job ID, operand fingerprints, plan-cache outcome,
+	// queue wait, and duration). nil discards them — the embedder's choice,
+	// not a crash; spgemmd passes its process logger.
+	Logger *slog.Logger
+	// TraceDir, when non-empty, captures a per-rank span trace of every
+	// multiply job and writes it to TraceDir/job-<id>.json in Chrome
+	// trace-event format. The directory must exist.
+	TraceDir string
 }
 
 // Service is the multiply-as-a-service engine: resident matrices, cached
@@ -53,6 +66,15 @@ type Service struct {
 	probes     atomic.Int64 // planner probe+sweep executions (cache misses)
 	multiplies atomic.Int64 // completed multiply jobs
 	queuedJobs atomic.Int64 // jobs that waited for admission
+
+	jobSeq atomic.Int64 // job-ID source: jobs number from 1 in arrival order
+	traces atomic.Int64 // per-job traces captured (TraceDir and/or request)
+	met    *jobMetrics  // job latency / queue-wait telemetry (/metrics)
+	// requests counts served HTTP requests per endpoint, indexed like
+	// endpointNames; Handler increments, Stats and /metrics read.
+	requests [len(endpointNames)]atomic.Int64
+
+	log *slog.Logger
 }
 
 // New returns a service for the given cluster shape.
@@ -66,12 +88,18 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Kernels == nil {
 		cfg.Kernels = costmodel.DefaultKernelTable()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return &Service{
 		cfg:    cfg,
 		reg:    NewRegistry(),
 		plans:  NewPlanCache(),
 		sched:  NewScheduler(cfg.MemBytes),
 		planKT: cfg.Kernels.Clone(),
+		met:    newJobMetrics(),
+		log:    logger,
 	}, nil
 }
 
@@ -163,6 +191,9 @@ type MultiplyRequest struct {
 	Semiring string `json:"semiring,omitempty"`
 	// ReturnResult asks for the assembled output matrix in the response.
 	ReturnResult bool `json:"return_result,omitempty"`
+	// Trace asks for this job's per-rank span trace in the result (the HTTP
+	// layer also sets it for /multiply?trace=1).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // MultiplyResult is one completed job.
@@ -189,32 +220,43 @@ type MultiplyResult struct {
 	// long (wall time of this process, not modeled time).
 	Queued       bool
 	QueueSeconds float64
+	// JobID identifies this job in the daemon's structured logs and trace
+	// filenames (jobs number from 1 in arrival order).
+	JobID int64
+	// Trace is the job's per-rank span recorder — non-nil only when the
+	// request asked for it or the service captures to a TraceDir.
+	Trace *obs.Recorder `json:"-"`
 }
 
 // Multiply plans (through the cache), admits, and executes one job.
 func (s *Service) Multiply(req MultiplyRequest) (*MultiplyResult, error) {
+	jobID := s.jobSeq.Add(1)
+	jobStart := time.Now()
 	sr, err := semiring.ByName(req.Semiring)
 	if err != nil {
-		return nil, err
+		return nil, s.jobFailed(jobID, req, err)
 	}
 	plan, err := s.Plan(req.A, req.B)
 	if err != nil {
-		return nil, err
+		return nil, s.jobFailed(jobID, req, err)
 	}
 	ra, err := s.reg.get(req.A)
 	if err != nil {
-		return nil, err
+		return nil, s.jobFailed(jobID, req, err)
 	}
 	rb, err := s.reg.get(req.B)
 	if err != nil {
-		return nil, err
+		return nil, s.jobFailed(jobID, req, err)
 	}
 
 	rc := s.runConfig()
 	rc.Opts.Semiring = sr
 	rc, err = core.ApplyChoice(rc, plan.Choice)
 	if err != nil {
-		return nil, err
+		return nil, s.jobFailed(jobID, req, err)
+	}
+	if req.Trace || s.cfg.TraceDir != "" {
+		rc.Trace = obs.NewRecorder(rc.P)
 	}
 
 	// The reservation is the planner's symbolic footprint decision: the
@@ -232,7 +274,7 @@ func (s *Service) Multiply(req MultiplyRequest) (*MultiplyResult, error) {
 
 	c, results, summary, err := core.Multiply(ra.mat, rb.mat, rc, nil)
 	if err != nil {
-		return nil, err
+		return nil, s.jobFailed(jobID, req, err)
 	}
 	s.multiplies.Add(1)
 
@@ -241,6 +283,8 @@ func (s *Service) Multiply(req MultiplyRequest) (*MultiplyResult, error) {
 		Batches:      results[0].Batches,
 		Queued:       queued,
 		QueueSeconds: wait,
+		JobID:        jobID,
+		Trace:        rc.Trace,
 	}
 	for _, r := range results {
 		if r.PeakMemBytes > res.PeakMemBytesPerRank {
@@ -258,7 +302,45 @@ func (s *Service) Multiply(req MultiplyRequest) (*MultiplyResult, error) {
 	if req.ReturnResult {
 		res.C = c
 	}
+
+	duration := time.Since(jobStart).Seconds()
+	s.met.observeJob(duration, wait)
+	tracePath := ""
+	if rc.Trace != nil {
+		s.traces.Add(1)
+		if s.cfg.TraceDir != "" {
+			tracePath = filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job-%d.json", jobID))
+			if werr := rc.Trace.WriteTraceFile(tracePath); werr != nil {
+				// The multiply succeeded; a failed trace write is log-worthy,
+				// not job-fatal.
+				s.log.Error("trace write failed", "job_id", jobID, "path", tracePath, "error", werr)
+				tracePath = ""
+			}
+		}
+	}
+	attrs := []any{
+		"job_id", jobID,
+		"a", req.A, "b", req.B,
+		"fp_a", ra.fp.Key(), "fp_b", rb.fp.Key(),
+		"cache_hit", plan.CacheHit,
+		"queued", queued, "queue_s", wait,
+		"duration_s", duration,
+		"batches", res.Batches,
+		"nnz", res.NNZ,
+		"model_s", res.ModelSeconds,
+	}
+	if tracePath != "" {
+		attrs = append(attrs, "trace", tracePath)
+	}
+	s.log.Info("job done", attrs...)
 	return res, nil
+}
+
+// jobFailed records and logs a failed job, passing the error through.
+func (s *Service) jobFailed(jobID int64, req MultiplyRequest, err error) error {
+	s.met.observeFailure()
+	s.log.Error("job failed", "job_id", jobID, "a", req.A, "b", req.B, "error", err)
+	return err
 }
 
 // Stats is a snapshot of the service's counters.
@@ -278,6 +360,20 @@ type Stats struct {
 	Multiplies int64 `json:"multiplies"`
 	QueuedJobs int64 `json:"queued_jobs"`
 	PeakQueued int   `json:"peak_queued"`
+	// JobFailures counts multiply jobs that errored.
+	JobFailures int64 `json:"job_failures"`
+	// QueueWaitSeconds totals every job's admission wait; QueueWaitMaxSeconds
+	// is the longest single wait; QueueDepth the jobs waiting right now;
+	// ReservedBytes the sum of admitted jobs' reservations.
+	QueueWaitSeconds    float64 `json:"queue_wait_seconds"`
+	QueueWaitMaxSeconds float64 `json:"queue_wait_max_seconds"`
+	QueueDepth          int     `json:"queue_depth"`
+	ReservedBytes       int64   `json:"reserved_bytes"`
+	// Requests counts served HTTP requests per endpoint — the same counters
+	// /metrics renders, so the two views cannot drift.
+	Requests map[string]int64 `json:"requests"`
+	// TracesCaptured counts per-job span traces captured.
+	TracesCaptured int64 `json:"traces_captured"`
 	// KernelObservations counts measured multiply/merge times fed into the
 	// shared cost table; KernelFingerprint identifies its current
 	// coefficients (it moves when recalibration refits them).
@@ -292,6 +388,11 @@ type Stats struct {
 // Stats returns a consistent-enough snapshot for monitoring (counters are
 // read individually, not under one lock).
 func (s *Service) Stats() Stats {
+	waitTotal, waitMax, failures := s.met.snapshot()
+	reqs := make(map[string]int64, len(endpointNames))
+	for i, name := range endpointNames {
+		reqs[name] = s.requests[i].Load()
+	}
 	return Stats{
 		Matrices:   s.reg.Len(),
 		Plans:      s.plans.Len(),
@@ -301,6 +402,14 @@ func (s *Service) Stats() Stats {
 		Multiplies: s.multiplies.Load(),
 		QueuedJobs: s.queuedJobs.Load(),
 		PeakQueued: s.sched.PeakQueued(),
+
+		JobFailures:         failures,
+		QueueWaitSeconds:    waitTotal,
+		QueueWaitMaxSeconds: waitMax,
+		QueueDepth:          s.sched.Queued(),
+		ReservedBytes:       s.sched.UsedBytes(),
+		Requests:            reqs,
+		TracesCaptured:      s.traces.Load(),
 
 		KernelObservations: s.cfg.Kernels.Observations(),
 		KernelFingerprint:  s.cfg.Kernels.Fingerprint(),

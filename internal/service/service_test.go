@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -107,6 +108,7 @@ func TestRepeatMultiplyZeroProbeWork(t *testing.T) {
 // FIFO with an oversized-alone escape), and after a sequential warmup pass
 // the storm must add zero plan-cache misses.
 func TestConcurrentJobsBitIdenticalAndZeroMissesAfterWarmup(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
 	mats := map[string]*spmat.CSC{
 		"rmat":  genmat.RMAT(genmat.RMATConfig{Scale: 6, EdgeFactor: 8, Seed: 7, Weighted: true}),
 		"er":    genmat.ER(64, 6, 11),
@@ -186,6 +188,23 @@ func TestConcurrentJobsBitIdenticalAndZeroMissesAfterWarmup(t *testing.T) {
 	}
 	if got := st.Multiplies; got != int64(len(pairs)+clients*perClient) {
 		t.Errorf("want %d completed jobs, got %d", len(pairs)+clients*perClient, got)
+	}
+
+	// Goroutine-leak check: the soak spun up thousands of simulated ranks;
+	// every one of them must have exited. Poll with slack — rank goroutines
+	// unwind asynchronously after Run returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after concurrent soak: %d before, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
